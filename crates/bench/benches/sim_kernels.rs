@@ -1,0 +1,86 @@
+//! Criterion benches of the **simulator itself**: host wall-clock per
+//! simulated kernel launch (throughput of the substrate, in simulated
+//! edges per second). Keeps the simulator honest as the repo evolves —
+//! regressions here make every experiment binary slower.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::DeviceConfig;
+use std::hint::black_box;
+use tlpgnn::{EngineOptions, GnnModel, TlpgnnEngine};
+use tlpgnn_baselines::{DglSystem, FeatGraphSystem};
+use tlpgnn_graph::generators;
+use tlpgnn_tensor::Matrix;
+
+const FEAT: usize = 32;
+
+fn bench_sim_fused(c: &mut Criterion) {
+    let g = generators::rmat_default(5_000, 50_000, 21);
+    let x = Matrix::random(g.num_vertices(), FEAT, 1.0, 22);
+    let mut group = c.benchmark_group("sim_fused_kernel");
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    for model in GnnModel::all_four(FEAT) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &model,
+            |b, model| {
+                let mut e = TlpgnnEngine::new(DeviceConfig::v100(), EngineOptions::default());
+                b.iter(|| black_box(e.conv(model, &g, &x)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sim_baselines(c: &mut Criterion) {
+    let g = generators::rmat_default(5_000, 50_000, 23);
+    let x = Matrix::random(g.num_vertices(), FEAT, 1.0, 24);
+    let mut group = c.benchmark_group("sim_baseline_pipelines");
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    group.bench_function("dgl_gcn_6_kernels", |b| {
+        let mut sys = DglSystem::new(DeviceConfig::v100());
+        b.iter(|| black_box(sys.run(&GnnModel::Gcn, &g, &x)))
+    });
+    group.bench_function("featgraph_gcn", |b| {
+        let mut sys = FeatGraphSystem::new(DeviceConfig::v100());
+        b.iter(|| black_box(sys.run(&GnnModel::Gcn, &g, &x)))
+    });
+    group.finish();
+}
+
+fn bench_sim_extensions(c: &mut Criterion) {
+    let g = generators::rmat_default(5_000, 50_000, 25);
+    let x = Matrix::random(g.num_vertices(), FEAT, 1.0, 26);
+    let mut group = c.benchmark_group("sim_extensions");
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    group.bench_function("dense_layer_on_device", |b| {
+        let layer = tlpgnn_tensor::Linear::new(FEAT, FEAT, true, 27);
+        b.iter(|| {
+            let mut dev = gpu_sim::Device::new(DeviceConfig::v100());
+            black_box(tlpgnn::kernels::dense::dense_forward_on_device(
+                &mut dev, &layer, &x, true,
+            ))
+        })
+    });
+    group.bench_function("hetero_fused_3rel", |b| {
+        let mut hg = tlpgnn::hetero::HeteroGraph::new(g.num_vertices());
+        hg.add_relation("a", g.clone());
+        hg.add_relation("b", generators::erdos_renyi(g.num_vertices(), 20_000, 28));
+        hg.add_relation("c", generators::ring_lattice(g.num_vertices(), 3));
+        b.iter(|| {
+            let mut e = tlpgnn::hetero::HeteroEngine::new(DeviceConfig::v100());
+            black_box(e.conv_fused(&hg, &x))
+        })
+    });
+    group.bench_function("multi_gpu_4dev", |b| {
+        let e = tlpgnn::multi_gpu::MultiGpuEngine::new(DeviceConfig::v100());
+        b.iter(|| black_box(e.conv(&GnnModel::Gcn, &g, &x, 4)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_fused, bench_sim_baselines, bench_sim_extensions
+}
+criterion_main!(benches);

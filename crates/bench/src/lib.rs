@@ -1,0 +1,162 @@
+//! # tlpgnn-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §3 for the
+//! index). This library holds the shared pieces: dataset loading with
+//! scale control, feature generation, and table formatting.
+//!
+//! Environment knobs:
+//! * `TLPGNN_SCALE=<k>` — extra scale divisor on top of each dataset's
+//!   default (e.g. `TLPGNN_SCALE=4` quarters every graph). Use for quick
+//!   runs on small machines.
+//! * `TLPGNN_QUICK=1` — shorthand for `TLPGNN_SCALE=8`.
+
+#![warn(missing_docs)]
+
+use gpu_sim::DeviceConfig;
+use tlpgnn_graph::{datasets::DatasetSpec, Csr};
+use tlpgnn_tensor::Matrix;
+
+/// Extra scale divisor from the environment (see crate docs).
+pub fn extra_scale() -> usize {
+    if std::env::var("TLPGNN_QUICK").is_ok_and(|v| v != "0" && !v.is_empty()) {
+        return 8;
+    }
+    std::env::var("TLPGNN_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(1)
+}
+
+/// Effective total scale of a dataset under the current environment.
+pub fn effective_scale(spec: &DatasetSpec) -> usize {
+    spec.default_scale * extra_scale()
+}
+
+/// Load a dataset at its default scale × the environment's extra scale.
+pub fn load(spec: &DatasetSpec) -> Csr {
+    spec.load_scaled(extra_scale())
+}
+
+/// Device scaled to match a dataset's scale divisor.
+///
+/// When a graph is shrunk 1/k, running it on the full 80-SM V100 changes
+/// the regime: a graph that filled the paper's device for dozens of waves
+/// would fit in a single wave, and block-scheduling/critical-path floors
+/// dominate instead of bandwidth. Shrinking the device by the same factor
+/// (SM count and L2, with a floor of 8 SMs) preserves waves-per-SM and
+/// the bytes-per-L2 ratio, so limiters and crossovers land where they do
+/// at full scale.
+pub fn device_for(spec: &DatasetSpec) -> DeviceConfig {
+    let scale = effective_scale(spec);
+    let mut cfg = DeviceConfig::v100();
+    let sms = (cfg.num_sms / scale).clamp(8, cfg.num_sms);
+    cfg.l2_bytes = (cfg.l2_bytes * sms / cfg.num_sms).max(768 * 1024);
+    cfg.num_sms = sms;
+    cfg.name = format!("SimV100/{}", cfg.num_sms);
+    cfg
+}
+
+/// Random features for a graph, seeded per dataset (paper §7.1: random
+/// 32-bit floats).
+pub fn features(g: &Csr, feat_dim: usize, seed: u64) -> Matrix {
+    Matrix::random(g.num_vertices(), feat_dim, 1.0, seed)
+}
+
+/// Format milliseconds the way the paper's tables do (2–3 significant
+/// digits).
+pub fn fmt_ms(ms: f64) -> String {
+    if ms < 0.095 {
+        format!("{ms:.3}")
+    } else if ms < 9.95 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.1}")
+    }
+}
+
+/// A printable results table (markdown-flavoured, also readable as plain
+/// text).
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row/header mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        println!("\n## {}\n", self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("| {} |", padded.join(" | "));
+        };
+        line(&self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Print the standard run header (device, scale) so logs are
+/// self-describing.
+pub fn print_header(experiment: &str) {
+    println!("=== {experiment} ===");
+    println!(
+        "device: SimV100 scaled per dataset (see device_for) | extra scale: {} | see EXPERIMENTS.md",
+        extra_scale()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ms_digits() {
+        assert_eq!(fmt_ms(0.0264), "0.026");
+        assert_eq!(fmt_ms(1.234), "1.23");
+        assert_eq!(fmt_ms(41.26), "41.3");
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print(); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "row/header mismatch")]
+    fn table_checks_width() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

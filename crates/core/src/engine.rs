@@ -1,0 +1,543 @@
+//! The top-level TLPGNN engine: upload → choose assignment → launch the
+//! fused kernel → read back, with profiling.
+//!
+//! This is the public entry point a downstream user calls; it packages the
+//! paper's whole pipeline (two-level parallelism, hybrid workload
+//! balancing, kernel fusion, register caching) behind one `conv` call.
+
+use gpu_sim::{Device, DeviceConfig, OpProfile};
+use tlpgnn_graph::Csr;
+use tlpgnn_tensor::Matrix;
+
+use crate::gpu::{GatScoresOnDevice, GraphOnDevice};
+use crate::kernels::fused::FusedConvKernel;
+use crate::kernels::gat::FusedGatKernel;
+use crate::kernels::{Aggregator, WorkSource};
+use crate::model::GnnModel;
+use crate::schedule::{Assignment, HybridHeuristic};
+
+/// Tunables of the engine. The defaults are the paper's configuration.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Hybrid workload heuristic (thresholds scale with dataset scale).
+    pub heuristic: HybridHeuristic,
+    /// Force a specific assignment instead of the heuristic (ablations).
+    pub force_assignment: Option<Assignment>,
+    /// Register caching (Section 6); disable only for ablations.
+    pub reg_cache: bool,
+    /// Pack multiple vertices per warp when the feature dimension is
+    /// narrower than a warp (an extension past the paper, which notes
+    /// that at feature 16 half of every warp idles). The packed vertices
+    /// advance in lock-step, so this wins on near-regular degree
+    /// distributions and can lose under heavy skew — hence opt-in.
+    /// Sum-family models with hardware assignment only.
+    pub pack_narrow_features: bool,
+    /// Host-side dispatch overhead per launch, ms (a thin C++/PyTorch
+    /// binding; much smaller than a Python framework's per-kernel cost).
+    pub dispatch_ms: f64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            heuristic: HybridHeuristic::default(),
+            force_assignment: None,
+            reg_cache: true,
+            pack_narrow_features: false,
+            dispatch_ms: 0.02,
+        }
+    }
+}
+
+/// The TLPGNN execution engine over a simulated device.
+pub struct TlpgnnEngine {
+    device: Device,
+    /// Engine configuration.
+    pub options: EngineOptions,
+}
+
+impl TlpgnnEngine {
+    /// Engine on a V100-like device with default options.
+    pub fn v100() -> Self {
+        Self::new(DeviceConfig::v100(), EngineOptions::default())
+    }
+
+    /// Engine with explicit device and options.
+    pub fn new(cfg: DeviceConfig, options: EngineOptions) -> Self {
+        Self {
+            device: Device::new(cfg),
+            options,
+        }
+    }
+
+    /// The underlying simulated device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable access to the device (buffer management in benchmarks).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// Pick the workload assignment for a graph per the hybrid heuristic
+    /// (or the forced override).
+    pub fn assignment_for(&self, g: &Csr) -> Assignment {
+        self.options
+            .force_assignment
+            .unwrap_or_else(|| self.options.heuristic.choose(g.num_vertices(), g.avg_degree()))
+    }
+
+    /// Run one graph convolution, returning the aggregated features and
+    /// the operation profile. All of TLPGNN runs in **one kernel launch**.
+    pub fn conv(&mut self, model: &GnnModel, g: &Csr, x: &Matrix) -> (Matrix, OpProfile) {
+        if let Some(result) = self.conv_packed(model, g, x) {
+            return result;
+        }
+        let assignment = self.assignment_for(g);
+        self.conv_with(model, g, x, assignment, self.options.reg_cache)
+    }
+
+    /// Narrow-feature packed convolution: `32 / feat_dim` vertices share
+    /// one warp via the sub-warp kernel, recovering the lanes the plain
+    /// warp-per-vertex mapping would idle. Sum-family models only.
+    fn conv_packed(
+        &mut self,
+        model: &GnnModel,
+        g: &Csr,
+        x: &Matrix,
+    ) -> Option<(Matrix, OpProfile)> {
+        let f = x.cols();
+        if !self.options.pack_narrow_features || f == 0 || f > 16 || !f.is_power_of_two() {
+            return None;
+        }
+        let agg = match model {
+            GnnModel::Gcn => Aggregator::GcnSum,
+            GnnModel::Gin { eps } => Aggregator::GinSum { eps: *eps },
+            GnnModel::Sage => Aggregator::SageMean,
+            GnnModel::Gat { .. } => return None,
+        };
+        let gd = GraphOnDevice::upload(&mut self.device, g, x);
+        let groups = 32 / f;
+        let k = crate::kernels::variants::SubWarpKernel {
+            gd,
+            agg,
+            lanes_per_vertex: f,
+        };
+        let lc = gpu_sim::LaunchConfig::warp_per_item(gd.n.div_ceil(groups), 256);
+        let mut op = OpProfile::new(format!("tlpgnn_packed_{}", model.name()));
+        op.add(&self.device.launch(&k, lc));
+        op.add_framework_overhead_ms(self.options.dispatch_ms);
+        let out = gd.read_output(&self.device);
+        gd.free(&mut self.device);
+        Some((out, op))
+    }
+
+    /// Run one graph convolution under an explicit assignment and
+    /// register-caching setting (used by the Figure 10 ablations).
+    pub fn conv_with(
+        &mut self,
+        model: &GnnModel,
+        g: &Csr,
+        x: &Matrix,
+        assignment: Assignment,
+        reg_cache: bool,
+    ) -> (Matrix, OpProfile) {
+        let gd = GraphOnDevice::upload(&mut self.device, g, x);
+        let mut op = OpProfile::new(format!("tlpgnn_{}", model.name()));
+        let regs = match (model, reg_cache) {
+            (GnnModel::Gat { .. }, true) => 56,
+            (GnnModel::Gat { .. }, false) => 32,
+            (_, true) => 48,
+            (_, false) => 26,
+        };
+        let lc = assignment.launch_config(gd.n, self.device.cfg(), regs);
+        let mut cursor = None;
+        let work = match assignment {
+            Assignment::Hardware { .. } => WorkSource::Hardware,
+            Assignment::Software { step, .. } => {
+                let c = self.device.mem_mut().alloc::<u32>(1);
+                cursor = Some(c);
+                WorkSource::Software {
+                    cursor: c,
+                    step,
+                    total_warps: lc.total_warps(),
+                }
+            }
+        };
+        let profile = match model {
+            GnnModel::Gat { params } => {
+                let scores = GatScoresOnDevice::upload(&mut self.device, x, params);
+                let k = FusedGatKernel::new(gd, scores, work, reg_cache);
+                let p = self.device.launch(&k, lc);
+                scores.free(&mut self.device);
+                p
+            }
+            _ => {
+                let agg = match model {
+                    GnnModel::Gcn => Aggregator::GcnSum,
+                    GnnModel::Gin { eps } => Aggregator::GinSum { eps: *eps },
+                    GnnModel::Sage => Aggregator::SageMean,
+                    GnnModel::Gat { .. } => unreachable!(),
+                };
+                let k = FusedConvKernel::new(gd, agg, work, reg_cache);
+                self.device.launch(&k, lc)
+            }
+        };
+        op.add(&profile);
+        op.add_framework_overhead_ms(self.options.dispatch_ms);
+        op.peak_mem_bytes = self.device.mem().peak_bytes();
+        let out = gd.read_output(&self.device);
+        if let Some(c) = cursor {
+            self.device.mem_mut().free(c);
+        }
+        gd.free(&mut self.device);
+        (out, op)
+    }
+
+    /// Run an edge-weighted aggregation
+    /// (`out[v] = Σ_{(u,v)} w_e · x[u]`, weights in CSR edge order) —
+    /// the reduced ψ for graphs that carry per-edge features, on the same
+    /// fused one-kernel path with the hybrid assignment.
+    pub fn conv_edge_weighted(
+        &mut self,
+        g: &Csr,
+        x: &Matrix,
+        weights: &[f32],
+    ) -> (Matrix, OpProfile) {
+        assert_eq!(weights.len(), g.num_edges(), "one weight per edge");
+        let n = g.num_vertices();
+        let f = x.cols();
+        let assignment = self.assignment_for(g);
+        let lc = assignment.launch_config(n, self.device.cfg(), 48);
+        let mem = self.device.mem_mut();
+        let indptr = mem.alloc_from(g.indptr());
+        let indices = mem.alloc_from(g.indices());
+        let values = mem.alloc_from(weights);
+        let xb = mem.alloc_from(x.data());
+        let out = mem.alloc::<f32>(n * f);
+        let mut cursor = None;
+        let work = match assignment {
+            Assignment::Hardware { .. } => WorkSource::Hardware,
+            Assignment::Software { step, .. } => {
+                let c = self.device.mem_mut().alloc::<u32>(1);
+                cursor = Some(c);
+                WorkSource::Software {
+                    cursor: c,
+                    step,
+                    total_warps: lc.total_warps(),
+                }
+            }
+        };
+        let k = crate::kernels::weighted::WeightedAggKernel {
+            indptr,
+            indices,
+            values,
+            x: xb,
+            out,
+            n,
+            f,
+            work,
+            reg_cache: self.options.reg_cache,
+        };
+        let mut op = OpProfile::new("tlpgnn_edge_weighted");
+        op.add(&self.device.launch(&k, lc));
+        op.add_framework_overhead_ms(self.options.dispatch_ms);
+        let result = Matrix::from_vec(n, f, self.device.mem().read_vec(out));
+        let mem = self.device.mem_mut();
+        mem.free(indptr);
+        mem.free(indices);
+        mem.free(values);
+        mem.free(xb);
+        mem.free(out);
+        if let Some(c) = cursor {
+            mem.free(c);
+        }
+        (result, op)
+    }
+
+    /// Run one full GNN layer on the device: the fused graph convolution
+    /// followed by the fused dense kernel (`act(conv(x)·W + b)`), two
+    /// kernel launches total — the whole-layer version of Observation III.
+    /// (GraphSage's self-concat happens between the two stages on the
+    /// host, as in `GnnLayer::forward_with`.)
+    pub fn layer_forward(
+        &mut self,
+        layer: &crate::model::GnnLayer,
+        g: &Csr,
+        x: &Matrix,
+    ) -> (Matrix, OpProfile) {
+        let (agg, mut op) = self.conv(&layer.model, g, x);
+        let combined = match layer.combine {
+            crate::model::Combine::Replace => agg,
+            crate::model::Combine::ConcatSelf => tlpgnn_tensor::ops::concat_cols(x, &agg),
+        };
+        let (out, p_dense) = crate::kernels::dense::dense_forward_on_device(
+            &mut self.device,
+            &layer.linear,
+            &combined,
+            layer.relu,
+        );
+        op.add(&p_dense);
+        op.add_framework_overhead_ms(self.options.dispatch_ms);
+        (out, op)
+    }
+
+    /// Run a whole [`crate::model::GnnNetwork`] forward pass with every
+    /// kernel on the device: per layer a fused convolution plus a fused
+    /// dense kernel, then one log-softmax kernel — `2·L + 1` launches for
+    /// an `L`-layer network.
+    pub fn classify_forward(
+        &mut self,
+        net: &crate::model::GnnNetwork,
+        g: &Csr,
+        x: &Matrix,
+    ) -> (Matrix, OpProfile) {
+        let mut op = OpProfile::new("tlpgnn_network_forward");
+        let mut h = x.clone();
+        for layer in &net.layers {
+            let (out, layer_op) = self.layer_forward(layer, g, &h);
+            op.gpu_time_ms += layer_op.gpu_time_ms;
+            op.runtime_ms += layer_op.runtime_ms;
+            op.kernel_launches += layer_op.kernel_launches;
+            op.load_bytes += layer_op.load_bytes;
+            op.store_bytes += layer_op.store_bytes;
+            h = out;
+        }
+        let (out, p) = crate::kernels::dense::log_softmax_on_device(&mut self.device, &h);
+        op.add(&p);
+        op.add_framework_overhead_ms(self.options.dispatch_ms);
+        (out, op)
+    }
+
+    /// Run one graph convolution on an explicit persistent grid
+    /// (`grid_blocks × block_threads`), using the software task pool so
+    /// any grid size processes the whole graph. This is the knob of the
+    /// paper's thread-count scalability study (Figure 11).
+    pub fn conv_with_grid(
+        &mut self,
+        model: &GnnModel,
+        g: &Csr,
+        x: &Matrix,
+        grid_blocks: usize,
+        block_threads: usize,
+    ) -> (Matrix, OpProfile) {
+        let gd = GraphOnDevice::upload(&mut self.device, g, x);
+        let mut op = OpProfile::new(format!("tlpgnn_grid_{}", model.name()));
+        let cursor = self.device.mem_mut().alloc::<u32>(1);
+        let lc = gpu_sim::LaunchConfig::new(grid_blocks.max(1), block_threads);
+        let work = WorkSource::Software {
+            cursor,
+            step: 8,
+            total_warps: lc.total_warps(),
+        };
+        let profile = match model {
+            GnnModel::Gat { params } => {
+                let scores = GatScoresOnDevice::upload(&mut self.device, x, params);
+                let k = FusedGatKernel::new(gd, scores, work, true);
+                let p = self.device.launch(&k, lc);
+                scores.free(&mut self.device);
+                p
+            }
+            _ => {
+                let agg = match model {
+                    GnnModel::Gcn => Aggregator::GcnSum,
+                    GnnModel::Gin { eps } => Aggregator::GinSum { eps: *eps },
+                    GnnModel::Sage => Aggregator::SageMean,
+                    GnnModel::Gat { .. } => unreachable!(),
+                };
+                let k = FusedConvKernel::new(gd, agg, work, true);
+                self.device.launch(&k, lc)
+            }
+        };
+        op.add(&profile);
+        op.add_framework_overhead_ms(self.options.dispatch_ms);
+        let out = gd.read_output(&self.device);
+        self.device.mem_mut().free(cursor);
+        gd.free(&mut self.device);
+        (out, op)
+    }
+
+    /// Run a "TLP only" convolution: the naive first implementation of
+    /// two-level parallelism — warp-per-vertex in maximal 1024-thread
+    /// blocks (32 warps each, so a whole block's warp slots are held until
+    /// its slowest warp finishes) and no register caching. The first bar
+    /// of the Figure 10 ablation.
+    pub fn conv_tlp_only(&mut self, model: &GnnModel, g: &Csr, x: &Matrix) -> (Matrix, OpProfile) {
+        self.conv_with(
+            model,
+            g,
+            x,
+            Assignment::Hardware {
+                warps_per_block: 32,
+            },
+            false,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::conv_reference;
+    use tlpgnn_graph::generators;
+
+    fn engine() -> TlpgnnEngine {
+        TlpgnnEngine::new(DeviceConfig::test_small(), EngineOptions::default())
+    }
+
+    #[test]
+    fn conv_all_models_match_oracle() {
+        let g = generators::rmat_default(200, 1500, 61);
+        let x = Matrix::random(200, 32, 1.0, 62);
+        let mut e = engine();
+        for model in GnnModel::all_four(32) {
+            let (out, op) = e.conv(&model, &g, &x);
+            let want = conv_reference(&model, &g, &x);
+            assert!(out.max_abs_diff(&want) < 1e-3, "{}", model.name());
+            assert_eq!(op.kernel_launches, 1, "fusion means one launch");
+            assert!(op.gpu_time_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn buffers_freed_between_convs() {
+        let g = generators::erdos_renyi(100, 500, 63);
+        let x = Matrix::random(100, 32, 1.0, 64);
+        let mut e = engine();
+        let _ = e.conv(&GnnModel::Gcn, &g, &x);
+        let after_first = e.device().mem().current_bytes();
+        for _ in 0..3 {
+            let _ = e.conv(&GnnModel::Gcn, &g, &x);
+        }
+        assert_eq!(e.device().mem().current_bytes(), after_first);
+        assert_eq!(after_first, 0, "all buffers released");
+    }
+
+    #[test]
+    fn heuristic_picks_software_for_high_degree() {
+        let e = engine();
+        let g = generators::ring_lattice(100, 60); // avg degree 60 exactly
+        assert!(matches!(e.assignment_for(&g), Assignment::Software { .. }));
+    }
+
+    #[test]
+    fn forced_assignment_respected() {
+        let opts = EngineOptions {
+            force_assignment: Some(Assignment::hardware()),
+            ..Default::default()
+        };
+        let e = TlpgnnEngine::new(DeviceConfig::test_small(), opts);
+        let g = generators::rmat_default(100, 8000, 66);
+        assert!(matches!(e.assignment_for(&g), Assignment::Hardware { .. }));
+    }
+
+    #[test]
+    fn classify_forward_matches_host_network() {
+        let g = generators::rmat_default(120, 900, 79);
+        let x = Matrix::random(120, 12, 1.0, 80);
+        let net = crate::model::GnnNetwork::two_layer(|_| GnnModel::Gcn, 12, 16, 5, 81);
+        let mut e = engine();
+        let (got, op) = e.classify_forward(&net, &g, &x);
+        let want = net.forward_with(&x, |m, h| conv_reference(m, &g, h));
+        assert!(got.max_abs_diff(&want) < 1e-3, "{}", got.max_abs_diff(&want));
+        assert_eq!(op.kernel_launches, 2 * 2 + 1);
+    }
+
+    #[test]
+    fn edge_weighted_conv_matches_reference() {
+        let g = generators::rmat_default(250, 2000, 76);
+        let x = Matrix::random(250, 32, 1.0, 77);
+        let weights = Matrix::random(1, g.num_edges(), 1.0, 78).into_vec();
+        let mut e = engine();
+        let (got, op) = e.conv_edge_weighted(&g, &x, &weights);
+        let want = crate::kernels::weighted::weighted_reference(&g, &x, &weights);
+        assert!(got.max_abs_diff(&want) < 1e-3);
+        assert_eq!(op.kernel_launches, 1);
+        assert_eq!(e.device().mem().current_bytes(), 0, "buffers freed");
+    }
+
+    #[test]
+    fn packed_narrow_features_correct_and_faster_on_regular_graphs() {
+        // Packing shares a warp between 32/f vertices in lock-step, so it
+        // pays the max degree of the group: a win on regular graphs (the
+        // test), a wash or loss under heavy skew — which is why it is an
+        // opt-in and the paper's warp-per-vertex stays the default.
+        let g = generators::ring_lattice(4000, 10);
+        let x = Matrix::random(4000, 8, 1.0, 75); // only 8 of 32 lanes busy
+        let want = conv_reference(&GnnModel::Gcn, &g, &x);
+        let mut plain = TlpgnnEngine::new(DeviceConfig::v100(), EngineOptions::default());
+        let (out_plain, p_plain) = plain.conv(&GnnModel::Gcn, &g, &x);
+        let mut packed = TlpgnnEngine::new(
+            DeviceConfig::v100(),
+            EngineOptions {
+                pack_narrow_features: true,
+                ..Default::default()
+            },
+        );
+        let (out_packed, p_packed) = packed.conv(&GnnModel::Gcn, &g, &x);
+        assert!(out_plain.max_abs_diff(&want) < 1e-3);
+        assert!(out_packed.max_abs_diff(&want) < 1e-3);
+        assert!(
+            p_packed.gpu_time_ms < p_plain.gpu_time_ms,
+            "packed {} should beat idle-lane {}",
+            p_packed.gpu_time_ms,
+            p_plain.gpu_time_ms
+        );
+    }
+
+    #[test]
+    fn layer_forward_on_device_matches_host_layer() {
+        let g = generators::rmat_default(150, 1000, 71);
+        let x = Matrix::random(150, 16, 1.0, 72);
+        for model in GnnModel::all_four(16) {
+            let layer = crate::model::GnnLayer::new(model, 16, 12, 73);
+            let mut e = engine();
+            let (got, op) = e.layer_forward(&layer, &g, &x);
+            let want = layer.forward_with(&x, |m, feats| conv_reference(m, &g, feats));
+            assert!(
+                got.max_abs_diff(&want) < 1e-3,
+                "{}: {}",
+                layer.model.name(),
+                got.max_abs_diff(&want)
+            );
+            assert_eq!(op.kernel_launches, 2, "conv + dense, nothing more");
+        }
+    }
+
+    #[test]
+    fn conv_with_grid_matches_oracle_for_any_grid() {
+        let g = generators::rmat_default(300, 2500, 69);
+        let x = Matrix::random(300, 32, 1.0, 70);
+        let want = conv_reference(&GnnModel::Gcn, &g, &x);
+        let mut e = engine();
+        for blocks in [1usize, 3, 16] {
+            let (out, p) = e.conv_with_grid(&GnnModel::Gcn, &g, &x, blocks, 512);
+            assert!(out.max_abs_diff(&want) < 1e-3, "{blocks} blocks");
+            assert_eq!(p.kernel_launches, 1);
+        }
+        // More blocks never slower (monotone non-increasing, small jitter).
+        let t1 = e.conv_with_grid(&GnnModel::Gcn, &g, &x, 1, 512).1.gpu_time_ms;
+        let t16 = e.conv_with_grid(&GnnModel::Gcn, &g, &x, 16, 512).1.gpu_time_ms;
+        assert!(t16 < t1);
+    }
+
+    #[test]
+    fn tlp_only_is_correct_but_slower_on_skewed_graphs() {
+        // Heavily skewed graph: static strided assignment suffers.
+        let g = generators::rmat_default(2000, 40_000, 67);
+        let x = Matrix::random(2000, 32, 1.0, 68);
+        let mut e = engine();
+        let want = conv_reference(&GnnModel::Gcn, &g, &x);
+        let (out_tlp, p_tlp) = e.conv_tlp_only(&GnnModel::Gcn, &g, &x);
+        assert!(out_tlp.max_abs_diff(&want) < 1e-3);
+        let (out_full, p_full) = e.conv(&GnnModel::Gcn, &g, &x);
+        assert!(out_full.max_abs_diff(&want) < 1e-3);
+        assert!(
+            p_tlp.gpu_time_ms > p_full.gpu_time_ms,
+            "tlp-only {} vs full {}",
+            p_tlp.gpu_time_ms,
+            p_full.gpu_time_ms
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Algorithm 1 on the CPU: dynamic chunked self-scheduling.
+//!
+//! A shared atomic cursor hands out chunks of `step` consecutive work
+//! items; each worker thread pulls until the pool drains. This is the
+//! paper's software-based dynamic workload assignment, with a thread
+//! standing in for a warp.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f(i)` for every `i in 0..n`, distributing work dynamically in
+/// chunks of `step` across `threads` workers (0 = available parallelism).
+///
+/// `f` must tolerate concurrent invocation for distinct `i` — typical use
+/// writes only to data owned by item `i`.
+pub fn task_pool_for(n: usize, step: usize, threads: usize, f: impl Fn(usize) + Sync) {
+    let step = step.max(1);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |p| p.get())
+    } else {
+        threads
+    };
+    if n == 0 {
+        return;
+    }
+    // Cache-pad the cursor so workers hammering it do not false-share with
+    // neighbors.
+    let cursor = CachePadded::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n.div_ceil(step)) {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(step, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + step).min(n);
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_item_exactly_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        task_pool_for(n, 7, 8, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_items_is_noop() {
+        task_pool_for(0, 8, 4, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let sum = AtomicU64::new(0);
+        task_pool_for(100, 13, 1, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn step_larger_than_n() {
+        let count = AtomicU64::new(0);
+        task_pool_for(5, 1000, 4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+}

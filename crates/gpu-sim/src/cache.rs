@@ -1,0 +1,239 @@
+//! Sector-granularity cache models.
+//!
+//! Volta caches at 128-byte line granularity but fills at 32-byte *sector*
+//! granularity, and Nsight's "sectors per request" metric counts sectors.
+//! We therefore tag caches by sector id (`address / sector_bytes`), which is
+//! both simpler and exactly the granularity the paper's metrics speak.
+//!
+//! [`SectorCache`] is a set-associative single-owner cache used for each
+//! SM's L1 (the SM worker thread owns it exclusively). [`SharedCache`] is a
+//! sharded, mutex-protected wrapper used for the device-wide L2.
+
+use parking_lot::Mutex;
+
+const WAYS: usize = 4;
+
+/// Set-associative cache of sector tags with LRU replacement.
+#[derive(Debug)]
+pub struct SectorCache {
+    /// `tags[set * WAYS + way]`; `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    /// Per-way last-use stamps for LRU, parallel to `tags`.
+    stamps: Vec<u64>,
+    num_sets: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SectorCache {
+    /// Build a cache holding `capacity_bytes` of `sector_bytes` sectors.
+    pub fn new(capacity_bytes: usize, sector_bytes: usize) -> Self {
+        let sectors = (capacity_bytes / sector_bytes).max(WAYS);
+        let num_sets = (sectors / WAYS).next_power_of_two();
+        Self {
+            tags: vec![u64::MAX; num_sets * WAYS],
+            stamps: vec![0; num_sets * WAYS],
+            num_sets,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a sector; on miss, insert it (allocate-on-miss). Returns
+    /// whether the access hit.
+    pub fn access(&mut self, sector: u64) -> bool {
+        self.clock += 1;
+        let set = (sector as usize) & (self.num_sets - 1);
+        let base = set * WAYS;
+        let ways = &mut self.tags[base..base + WAYS];
+        if let Some(way) = ways.iter().position(|&t| t == sector) {
+            self.stamps[base + way] = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        // Evict LRU way.
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..WAYS {
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = sector;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Probe without inserting (used for write-through stores that do not
+    /// allocate).
+    pub fn probe(&self, sector: u64) -> bool {
+        let set = (sector as usize) & (self.num_sets - 1);
+        self.tags[set * WAYS..set * WAYS + WAYS].contains(&sector)
+    }
+
+    /// Invalidate a sector if present (used by atomics, which bypass L1 and
+    /// must not leave stale data behind).
+    pub fn invalidate(&mut self, sector: u64) {
+        let set = (sector as usize) & (self.num_sets - 1);
+        let base = set * WAYS;
+        for w in 0..WAYS {
+            if self.tags[base + w] == sector {
+                self.tags[base + w] = u64::MAX;
+            }
+        }
+    }
+
+    /// Total hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses recorded.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero if never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Clear contents and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// Number of independent shards in a [`SharedCache`]. Power of two.
+const L2_SHARDS: usize = 64;
+/// log2(L2_SHARDS): sector bits consumed by shard selection.
+const L2_SHARD_BITS: u32 = L2_SHARDS.trailing_zeros();
+
+/// Device-wide shared cache (L2): sharded by sector id so concurrent SM
+/// workers rarely contend on the same lock.
+pub struct SharedCache {
+    shards: Vec<Mutex<SectorCache>>,
+}
+
+impl SharedCache {
+    /// Build an L2 of `capacity_bytes` split evenly over the shards.
+    pub fn new(capacity_bytes: usize, sector_bytes: usize) -> Self {
+        let per_shard = (capacity_bytes / L2_SHARDS).max(sector_bytes * WAYS);
+        Self {
+            shards: (0..L2_SHARDS)
+                .map(|_| Mutex::new(SectorCache::new(per_shard, sector_bytes)))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, sector: u64) -> &Mutex<SectorCache> {
+        // Shard on bits above the set-index bits so each shard still sees a
+        // spread of sets.
+        &self.shards[(sector as usize) & (L2_SHARDS - 1)]
+    }
+
+    /// Look up a sector; insert on miss. Returns whether it hit.
+    ///
+    /// The shard consumes the low sector bits, so the per-shard cache is
+    /// indexed by the bits *above* them — otherwise every sector of a
+    /// shard would alias into one set.
+    pub fn access(&self, sector: u64) -> bool {
+        self.shard(sector).lock().access(sector >> L2_SHARD_BITS)
+    }
+
+    /// Aggregate (hits, misses) over all shards.
+    pub fn stats(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            let s = s.lock();
+            (h + s.hits(), m + s.misses())
+        })
+    }
+
+    /// Clear all shards (contents and statistics).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.lock().reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = SectorCache::new(1024, 32);
+        assert!(!c.access(7));
+        assert!(c.access(7));
+        assert!(c.access(7));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        // 4 sets * 4 ways = capacity 16 sectors with 32B sectors = 512B.
+        let mut c = SectorCache::new(512, 32);
+        // Fill one set (sectors congruent mod 4): 5 distinct tags in a
+        // 4-way set must evict the least recently used (sector 0).
+        for s in [0u64, 4, 8, 12, 16] {
+            c.access(s);
+        }
+        assert!(!c.probe(0), "LRU victim should be evicted");
+        assert!(c.probe(16));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = SectorCache::new(1024, 32);
+        c.access(3);
+        assert!(c.probe(3));
+        c.invalidate(3);
+        assert!(!c.probe(3));
+    }
+
+    #[test]
+    fn shared_cache_roundtrip() {
+        let c = SharedCache::new(64 * 1024, 32);
+        assert!(!c.access(100));
+        assert!(c.access(100));
+        let (h, m) = c.stats();
+        assert_eq!((h, m), (1, 1));
+        c.reset();
+        assert_eq!(c.stats(), (0, 0));
+    }
+
+    #[test]
+    fn shared_cache_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedCache>();
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut c = SectorCache::new(1024, 32);
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access(1);
+        c.access(1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,532 @@
+//! The device: owns memory and the L2, executes kernels (functionally, in
+//! parallel on the host), and converts the recorded per-warp traces into a
+//! [`KernelProfile`] via the analytic cost model.
+//!
+//! # Execution vs. scheduling
+//!
+//! Blocks are *executed* on host workers in a fixed cyclic interleaving
+//! (which also determines which blocks share a simulated L1). Their
+//! *placement* for the cost model is computed afterwards by deterministic
+//! greedy list scheduling — each block, in launch order, goes to the SM
+//! with the least accumulated work — which is exactly the fixed point of
+//! the hardware's dynamic block distributor and is what lets a grid with a
+//! few enormous blocks (hub vertices) still balance across SMs.
+//!
+//! # Cost model
+//!
+//! Each warp's trace yields issue cycles, memory stall cycles, and
+//! bandwidth sectors; per block we also track the slowest warp (a block
+//! holds all its warp slots until that warp retires). For the set of
+//! blocks scheduled on one SM:
+//!
+//! ```text
+//! sm_time = max( Σ issue_cycles / issue_ipc,              (issue throughput)
+//!                Σ weighted_sectors × sector_bw_cycles,   (memory bandwidth;
+//!                                                          atomic sectors cost
+//!                                                          atomic_bw_factor ×)
+//!                Σ_blocks wpb × max_warp_in_block
+//!                      / resident_warps,                  (latency hiding with
+//!                                                          block-granularity
+//!                                                          slot release)
+//!                max warp_cycles )                        (critical path)
+//!           + blocks × block_sched_cycles                 (HW scheduling)
+//! ```
+//!
+//! Kernel GPU time is the max over SMs; end-to-end runtime adds the host
+//! launch overhead. A warp's serial time overlaps its own outstanding
+//! loads: `warp_cycles = issue + mem_lat/warp_mlp + atomic_lat/atomic_mlp`.
+//!
+//! This reproduces, to first order, every effect the paper measures:
+//! atomic-heavy kernels inflate traffic and serialized throughput;
+//! uncoalesced kernels inflate sectors and latency; launching many kernels
+//! pays overhead and re-reads intermediates; low occupancy leaves latency
+//! unhidden; and skewed workload assignments inflate the slot and
+//! critical-path terms.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rayon::prelude::*;
+
+use crate::cache::{SectorCache, SharedCache};
+use crate::config::{DeviceConfig, WARP_SIZE};
+use crate::kernel::{Kernel, LaunchConfig};
+use crate::mem::DeviceMemory;
+use crate::profile::{KernelProfile, LimiterBreakdown};
+use crate::warp::{WarpCtx, WarpId, WarpStats};
+
+/// Cost record of one executed block, consumed by the list scheduler.
+struct BlockCost {
+    idx: u32,
+    issue_cycles: u64,
+    /// Atomic-weighted bandwidth sectors.
+    bw_sectors: f64,
+    /// `warps_per_block × slowest warp` — slot time the block occupies.
+    slot_cycles: u64,
+    max_warp: u64,
+}
+
+struct WorkerResult {
+    stats: WarpStats,
+    blocks: Vec<BlockCost>,
+}
+
+/// A simulated GPU device.
+pub struct Device {
+    cfg: DeviceConfig,
+    mem: DeviceMemory,
+    l2: SharedCache,
+    launches: u64,
+}
+
+impl Device {
+    /// Create a device with the given configuration.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        let l2 = SharedCache::new(cfg.l2_bytes, cfg.sector_bytes);
+        Self {
+            cfg,
+            mem: DeviceMemory::new(),
+            l2,
+            launches: 0,
+        }
+    }
+
+    /// A V100-like device (the paper's testbed).
+    pub fn v100() -> Self {
+        Self::new(DeviceConfig::v100())
+    }
+
+    /// Device configuration.
+    pub fn cfg(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to device memory (allocation, host copies).
+    pub fn mem_mut(&mut self) -> &mut DeviceMemory {
+        &mut self.mem
+    }
+
+    /// Shared access to device memory (reads, fills).
+    pub fn mem(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Kernels launched since creation.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Drop all cached state in the L2 (e.g. between experiments).
+    pub fn flush_l2(&self) {
+        self.l2.reset();
+    }
+
+    /// Launch a kernel and return its profile.
+    ///
+    /// Panics if the launch geometry violates device limits, mirroring a
+    /// CUDA launch failure.
+    pub fn launch(&mut self, kernel: &dyn Kernel, lc: LaunchConfig) -> KernelProfile {
+        assert!(
+            lc.block_threads >= 1 && lc.block_threads <= self.cfg.max_threads_per_block,
+            "invalid block size {}",
+            lc.block_threads
+        );
+        self.launches += 1;
+        let warps_per_block = lc.warps_per_block();
+        let block_threads = warps_per_block * WARP_SIZE;
+        if lc.grid_blocks == 0 {
+            return self.finish_profile(kernel, lc, warps_per_block, WarpStats::default(), Vec::new());
+        }
+
+        let shared_f32 = kernel.shared_f32_per_block();
+        assert!(
+            shared_f32 * 4 <= self.cfg.shared_mem_per_sm,
+            "kernel requests more shared memory than the SM has"
+        );
+
+        let grid = lc.grid_blocks;
+        let cfg = &self.cfg;
+        let mem = &self.mem;
+        let l2 = &self.l2;
+
+        // The simulator executes one warp at a time per worker, which
+        // would give every warp the whole L1 to itself; on hardware the
+        // L1 is shared by all resident warps. Model that contention by
+        // sizing each worker's cache to one resident warp's share.
+        let resident = self.resident_warps(kernel, lc);
+        let l1_eff = (cfg.l1_bytes as f64 / resident).max(2048.0) as usize;
+
+        let workers = cfg.num_sms.min(grid);
+        let results: Vec<WorkerResult> = (0..workers)
+            .into_par_iter()
+            .map(|worker| {
+                let mut l1 = SectorCache::new(l1_eff, cfg.sector_bytes);
+                let mut res = WorkerResult {
+                    stats: WarpStats::default(),
+                    blocks: Vec::with_capacity(grid / workers + 1),
+                };
+                let mut shared = vec![0.0f32; shared_f32];
+                let mut block = worker;
+                while block < grid {
+                    shared.fill(0.0);
+                    let mut bc = BlockCost {
+                        idx: block as u32,
+                        issue_cycles: 0,
+                        bw_sectors: 0.0,
+                        slot_cycles: 0,
+                        max_warp: 0,
+                    };
+                    for warp in 0..warps_per_block {
+                        let id = WarpId {
+                            block_idx: block,
+                            warp_in_block: warp,
+                            warps_per_block,
+                            block_dim: block_threads,
+                        };
+                        let mut ctx = WarpCtx::new(mem, &mut l1, l2, cfg, &mut shared, id);
+                        kernel.run_warp(&mut ctx);
+                        let wc = ctx.stats.warp_cycles(cfg);
+                        bc.max_warp = bc.max_warp.max(wc);
+                        bc.issue_cycles += ctx.stats.issue_cycles;
+                        bc.bw_sectors += (ctx.stats.below_l1_sectors() + ctx.stats.store_sectors)
+                            as f64
+                            + ctx.stats.atomic_sectors as f64 * cfg.atomic_bw_factor;
+                        res.stats.merge(&ctx.stats);
+                    }
+                    bc.slot_cycles = bc.max_warp * warps_per_block as u64;
+                    res.blocks.push(bc);
+                    block += workers;
+                }
+                res
+            })
+            .collect();
+
+        let mut total = WarpStats::default();
+        let mut blocks: Vec<BlockCost> = Vec::with_capacity(grid);
+        for r in results {
+            total.merge(&r.stats);
+            blocks.extend(r.blocks);
+        }
+        // Launch order: the hardware distributor hands out blocks in index
+        // order.
+        blocks.sort_unstable_by_key(|b| b.idx);
+
+        self.finish_profile(kernel, lc, warps_per_block, total, blocks)
+    }
+
+    /// Resident warps per SM for this kernel/launch (registers, warp
+    /// slots, shared memory, and the hard block cap all considered).
+    fn resident_warps(&self, kernel: &dyn Kernel, lc: LaunchConfig) -> f64 {
+        let cfg = &self.cfg;
+        let shared_bytes = kernel.shared_f32_per_block() * 4;
+        let mut resident_blocks = cfg.resident_blocks(kernel.regs_per_thread(), lc.block_threads);
+        if shared_bytes > 0 {
+            resident_blocks = resident_blocks
+                .min(cfg.shared_mem_per_sm / shared_bytes.max(1))
+                .max(1);
+        }
+        (resident_blocks * lc.warps_per_block())
+            .min(cfg.max_warps_per_sm)
+            .max(1) as f64
+    }
+
+    fn finish_profile(
+        &self,
+        kernel: &dyn Kernel,
+        lc: LaunchConfig,
+        warps_per_block: usize,
+        total: WarpStats,
+        blocks: Vec<BlockCost>,
+    ) -> KernelProfile {
+        let cfg = &self.cfg;
+        let resident_warps = self.resident_warps(kernel, lc);
+
+        // Greedy list scheduling of blocks onto SMs: each block (in launch
+        // order) goes to the SM with the least accumulated slot time —
+        // the deterministic fixed point of the hardware block distributor.
+        #[derive(Default, Clone)]
+        struct SmBin {
+            issue: u64,
+            bw: f64,
+            slot: u64,
+            max_warp: u64,
+            blocks: u64,
+        }
+        let mut bins = vec![SmBin::default(); cfg.num_sms];
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..cfg.num_sms).map(|i| Reverse((0u64, i))).collect();
+        let mut warps_run = 0u64;
+        for b in &blocks {
+            let Reverse((load, sm)) = heap.pop().expect("bins nonempty");
+            let bin = &mut bins[sm];
+            bin.issue += b.issue_cycles;
+            bin.bw += b.bw_sectors;
+            bin.slot += b.slot_cycles;
+            bin.max_warp = bin.max_warp.max(b.max_warp);
+            bin.blocks += 1;
+            warps_run += warps_per_block as u64;
+            heap.push(Reverse((
+                load + b.slot_cycles + cfg.block_sched_cycles,
+                sm,
+            )));
+        }
+
+        let mut gpu_cycles = 0f64;
+        let mut sum_issue = 0u64;
+        let mut blocks_run = 0u64;
+        let mut sum_slots = 0u64;
+        let mut max_slot = 0u64;
+        let mut limiter = LimiterBreakdown::default();
+        for bin in &bins {
+            sum_slots += bin.slot;
+            max_slot = max_slot.max(bin.slot);
+            let issue_time = bin.issue as f64 / cfg.issue_ipc;
+            let bw_time = bin.bw * cfg.sector_bw_cycles;
+            let lat_time = bin.slot as f64 / resident_warps;
+            let sched_time = (bin.blocks * cfg.block_sched_cycles) as f64;
+            let sm_time = issue_time
+                .max(bw_time)
+                .max(lat_time)
+                .max(bin.max_warp as f64)
+                + sched_time;
+            if sm_time > gpu_cycles {
+                gpu_cycles = sm_time;
+                limiter = LimiterBreakdown {
+                    issue: issue_time,
+                    bandwidth: bw_time,
+                    latency: lat_time,
+                    critical_warp: bin.max_warp as f64,
+                    scheduling: sched_time,
+                };
+            }
+            sum_issue += bin.issue;
+            blocks_run += bin.blocks;
+        }
+
+        let gpu_time_ms = cfg.cycles_to_ms(gpu_cycles);
+        let denom_cycles = gpu_cycles.max(1.0);
+        let num_sms = cfg.num_sms as f64;
+        let sector = cfg.sector_bytes as u64;
+
+        let load_requests = total.mem_requests.max(1);
+        let l1_total = total.l1_hit_sectors + total.below_l1_sectors();
+
+        KernelProfile {
+            name: kernel.name().to_string(),
+            grid_blocks: lc.grid_blocks,
+            block_threads: lc.block_threads,
+            gpu_cycles,
+            gpu_time_ms,
+            runtime_ms: gpu_time_ms + cfg.kernel_launch_us / 1e3,
+            sm_utilization: (sum_issue as f64 / cfg.issue_ipc) / (num_sms * denom_cycles),
+            // Achieved occupancy = configured residency × load balance:
+            // warps stay resident for their block's whole duration, so a
+            // fully balanced launch achieves its configured occupancy and
+            // imbalance (idle SMs waiting on stragglers) lowers it.
+            achieved_occupancy: if max_slot == 0 {
+                0.0
+            } else {
+                (resident_warps / cfg.max_warps_per_sm as f64)
+                    * (sum_slots as f64 / (num_sms * max_slot as f64))
+            },
+            simd_efficiency: if total.total_lane_steps == 0 {
+                1.0
+            } else {
+                total.active_lane_steps as f64 / total.total_lane_steps as f64
+            },
+            sectors_per_request: total.mem_sectors as f64 / load_requests as f64,
+            stall_long_scoreboard: (total.mem_lat_cycles + total.atomic_lat_cycles) as f64
+                / total.insts.max(1) as f64,
+            l1_hit_rate: if l1_total == 0 {
+                0.0
+            } else {
+                total.l1_hit_sectors as f64 / l1_total as f64
+            },
+            l2_hit_rate: if total.below_l1_sectors() == 0 {
+                0.0
+            } else {
+                total.l2_hit_sectors as f64 / total.below_l1_sectors() as f64
+            },
+            load_bytes: total.below_l1_sectors() * sector,
+            dram_load_bytes: total.dram_sectors * sector,
+            store_bytes: total.store_sectors * sector,
+            atomic_bytes: total.atomic_sectors * sector,
+            mem_requests: total.mem_requests,
+            atomic_requests: total.atomic_requests,
+            insts: total.insts,
+            warps_run,
+            blocks_run,
+            limiter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DeviceBuffer;
+
+    /// y[i] = x[i] * 2 over one warp per 32 elements.
+    struct Double {
+        x: DeviceBuffer<f32>,
+        y: DeviceBuffer<f32>,
+        n: usize,
+    }
+
+    impl Kernel for Double {
+        fn name(&self) -> &str {
+            "double"
+        }
+        fn run_warp(&self, w: &mut WarpCtx<'_>) {
+            let base = w.global_warp() * 32;
+            let n = self.n;
+            let vals = w.ld(self.x, |lane| {
+                let i = base + lane;
+                (i < n).then_some(i)
+            });
+            w.issue(1);
+            w.st(self.y, |lane| {
+                let i = base + lane;
+                (i < n).then_some((i, vals[lane] * 2.0))
+            });
+        }
+    }
+
+    #[test]
+    fn functional_and_profiled() {
+        let mut dev = Device::new(DeviceConfig::test_small());
+        let n = 1000;
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let x = dev.mem_mut().alloc_from(&xs);
+        let y = dev.mem_mut().alloc::<f32>(n);
+        let k = Double { x, y, n };
+        let lc = LaunchConfig::warp_per_item(n.div_ceil(32), 128);
+        let p = dev.launch(&k, lc);
+        let out = dev.mem().read_vec(y);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f32));
+        assert!(p.gpu_time_ms > 0.0);
+        assert!(p.runtime_ms > p.gpu_time_ms);
+        assert!(p.mem_requests >= (n / 32) as u64);
+        assert!(p.sectors_per_request <= 4.5);
+        assert_eq!(p.blocks_run as usize, lc.grid_blocks);
+    }
+
+    #[test]
+    fn launch_is_deterministic() {
+        let run = || {
+            let mut dev = Device::new(DeviceConfig::test_small());
+            let n = 4096;
+            let xs: Vec<f32> = (0..n).map(|i| (i % 97) as f32).collect();
+            let x = dev.mem_mut().alloc_from(&xs);
+            let y = dev.mem_mut().alloc::<f32>(n);
+            let k = Double { x, y, n };
+            let p = dev.launch(&k, LaunchConfig::warp_per_item(n / 32, 256));
+            (p.gpu_cycles, p.l1_hit_rate, p.load_bytes)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_grid_is_noop() {
+        let mut dev = Device::new(DeviceConfig::test_small());
+        let x = dev.mem_mut().alloc::<f32>(32);
+        let y = dev.mem_mut().alloc::<f32>(32);
+        let k = Double { x, y, n: 32 };
+        let p = dev.launch(&k, LaunchConfig::new(0, 32));
+        assert_eq!(p.warps_run, 0);
+        assert_eq!(p.gpu_cycles, 0.0);
+    }
+
+    /// Atomic-heavy kernel: all warps hammer one counter.
+    struct Hammer {
+        c: DeviceBuffer<f32>,
+    }
+    impl Kernel for Hammer {
+        fn name(&self) -> &str {
+            "hammer"
+        }
+        fn run_warp(&self, w: &mut WarpCtx<'_>) {
+            w.atomic_add_f32(self.c, |_| Some((0, 1.0)));
+        }
+    }
+
+    #[test]
+    fn atomics_counted_and_correct() {
+        let mut dev = Device::new(DeviceConfig::test_small());
+        let c = dev.mem_mut().alloc::<f32>(1);
+        let warps = 256;
+        let p = dev.launch(&Hammer { c }, LaunchConfig::warp_per_item(warps, 64));
+        assert_eq!(dev.mem().read_vec(c)[0], (warps * 32) as f32);
+        assert!(p.atomic_bytes > 0);
+        assert!(p.stall_long_scoreboard > 0.0);
+    }
+
+    #[test]
+    fn more_blocks_cost_scheduling() {
+        // Same total warps, more blocks => more scheduling overhead.
+        let time = |warps_per_block: usize| {
+            let mut dev = Device::new(DeviceConfig::test_small());
+            let n = 32 * 512;
+            let x = dev.mem_mut().alloc::<f32>(n);
+            let y = dev.mem_mut().alloc::<f32>(n);
+            let k = Double { x, y, n };
+            let p = dev.launch(&k, LaunchConfig::warp_per_item(512, warps_per_block * 32));
+            p.gpu_cycles
+        };
+        assert!(time(1) > time(16));
+    }
+
+    /// Kernel with one enormous block and many small ones: list
+    /// scheduling must isolate the big block rather than stacking more
+    /// work on its SM.
+    struct Lopsided {
+        x: DeviceBuffer<f32>,
+    }
+    impl Kernel for Lopsided {
+        fn name(&self) -> &str {
+            "lopsided"
+        }
+        fn run_warp(&self, w: &mut WarpCtx<'_>) {
+            let reps = if w.block_idx() == 0 { 20_000 } else { 1 };
+            for r in 0..reps {
+                let _ = w.ld(self.x, |l| Some((r * 32 + l) % 4096));
+                w.issue(4);
+            }
+        }
+    }
+
+    #[test]
+    fn list_scheduling_isolates_heavy_blocks() {
+        let mut dev = Device::new(DeviceConfig::test_small());
+        let x = dev.mem_mut().alloc::<f32>(4096);
+        let k = Lopsided { x };
+        let p = dev.launch(&k, LaunchConfig::new(64, 32));
+        // The heavy block alone bounds the kernel: its SM should carry
+        // (roughly) only that block's work, so gpu time is close to the
+        // critical warp, not critical warp + a pile of small blocks.
+        assert!(
+            p.gpu_cycles < 1.7 * p.limiter.critical_warp.max(p.limiter.bandwidth),
+            "gpu {} vs critical {} / bw {}",
+            p.gpu_cycles,
+            p.limiter.critical_warp,
+            p.limiter.bandwidth
+        );
+    }
+
+    #[test]
+    fn limiter_breakdown_names_dominant_term() {
+        let mut dev = Device::new(DeviceConfig::test_small());
+        let x = dev.mem_mut().alloc::<f32>(32 * 512);
+        let y = dev.mem_mut().alloc::<f32>(32 * 512);
+        let k = Double { x, y, n: 32 * 512 };
+        let p = dev.launch(&k, LaunchConfig::warp_per_item(512, 256));
+        let l = &p.limiter;
+        let max = l
+            .issue
+            .max(l.bandwidth)
+            .max(l.latency)
+            .max(l.critical_warp);
+        assert!(p.gpu_cycles >= max);
+        assert!(!l.name().is_empty());
+    }
+}

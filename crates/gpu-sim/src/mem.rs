@@ -1,0 +1,368 @@
+//! Simulated global device memory.
+//!
+//! Memory is organized as typed buffers carved out of a single simulated
+//! address space by a bump allocator. Each buffer is backed by a slab of
+//! `AtomicU32` words so that simulated warps running on different host
+//! threads can load, store, and atomically update memory without locking;
+//! plain loads/stores use `Relaxed` atomics (the simulator enforces
+//! correctness at the algorithm level exactly as CUDA does — racy plain
+//! writes are a kernel bug, not a simulator bug).
+//!
+//! Buffer *addresses* matter: the coalescing model groups the 32 lane
+//! addresses of one warp request into 32-byte sectors, so consecutive
+//! elements of one buffer fall into the same sector exactly as on hardware.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A plain 32-bit word type storable in device memory.
+///
+/// The simulator stores everything as raw `u32` bits; `Word` converts the
+/// user-facing type to and from those bits.
+pub trait Word: Copy + Default + Send + Sync + 'static {
+    /// Raw bit pattern of this value.
+    fn to_bits(self) -> u32;
+    /// Reconstruct the value from a raw bit pattern.
+    fn from_bits(bits: u32) -> Self;
+}
+
+impl Word for f32 {
+    #[inline]
+    fn to_bits(self) -> u32 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits(bits: u32) -> Self {
+        f32::from_bits(bits)
+    }
+}
+
+impl Word for u32 {
+    #[inline]
+    fn to_bits(self) -> u32 {
+        self
+    }
+    #[inline]
+    fn from_bits(bits: u32) -> Self {
+        bits
+    }
+}
+
+impl Word for i32 {
+    #[inline]
+    fn to_bits(self) -> u32 {
+        self as u32
+    }
+    #[inline]
+    fn from_bits(bits: u32) -> Self {
+        bits as i32
+    }
+}
+
+/// Typed handle to a device allocation. Cheap to copy; the actual storage
+/// lives in [`DeviceMemory`].
+pub struct DeviceBuffer<T> {
+    pub(crate) id: usize,
+    pub(crate) addr: u64,
+    pub(crate) len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for DeviceBuffer<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for DeviceBuffer<T> {}
+
+impl<T> DeviceBuffer<T> {
+    /// Number of `T` elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Simulated byte address of element `idx`. Used by the coalescing
+    /// model; panics if out of bounds (a simulated illegal memory access).
+    #[inline]
+    pub fn addr_of(&self, idx: usize) -> u64 {
+        assert!(
+            idx < self.len,
+            "illegal device memory access: index {idx} out of bounds for buffer of len {}",
+            self.len
+        );
+        self.addr + (idx as u64) * 4
+    }
+}
+
+struct Storage {
+    words: Box<[AtomicU32]>,
+}
+
+/// The simulated global memory of one device: allocator plus storage.
+///
+/// Tracks current and peak allocated bytes so multi-kernel pipelines that
+/// materialize intermediates (like DGL's 18-kernel GAT) report the larger
+/// footprints the paper observes in Table 3.
+pub struct DeviceMemory {
+    buffers: Vec<Option<Storage>>,
+    addrs: Vec<(u64, usize)>,
+    next_addr: u64,
+    current_bytes: u64,
+    peak_bytes: u64,
+}
+
+impl DeviceMemory {
+    /// Alignment of every allocation, in bytes. Matches `cudaMalloc`'s
+    /// 256-byte guarantee so distinct buffers never share a sector.
+    pub const ALLOC_ALIGN: u64 = 256;
+
+    /// Create an empty memory space.
+    pub fn new() -> Self {
+        Self {
+            buffers: Vec::new(),
+            addrs: Vec::new(),
+            next_addr: Self::ALLOC_ALIGN,
+            current_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// Allocate a zero-initialized buffer of `len` elements.
+    pub fn alloc<T: Word>(&mut self, len: usize) -> DeviceBuffer<T> {
+        let words: Box<[AtomicU32]> = (0..len).map(|_| AtomicU32::new(0)).collect();
+        self.push_storage(words, len)
+    }
+
+    /// Allocate a buffer initialized from a host slice.
+    pub fn alloc_from<T: Word>(&mut self, data: &[T]) -> DeviceBuffer<T> {
+        let words: Box<[AtomicU32]> = data.iter().map(|v| AtomicU32::new(v.to_bits())).collect();
+        self.push_storage(words, data.len())
+    }
+
+    fn push_storage<T: Word>(&mut self, words: Box<[AtomicU32]>, len: usize) -> DeviceBuffer<T> {
+        let bytes = (len as u64) * 4;
+        let addr = self.next_addr;
+        self.next_addr += bytes.div_ceil(Self::ALLOC_ALIGN).max(1) * Self::ALLOC_ALIGN;
+        self.current_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.current_bytes);
+        let id = self.buffers.len();
+        self.buffers.push(Some(Storage { words }));
+        self.addrs.push((addr, len));
+        DeviceBuffer {
+            id,
+            addr,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Release a buffer. Subsequent access through a stale handle panics —
+    /// the simulated analogue of a use-after-free illegal access.
+    pub fn free<T: Word>(&mut self, buf: DeviceBuffer<T>) {
+        let slot = self
+            .buffers
+            .get_mut(buf.id)
+            .expect("free of unknown buffer");
+        if slot.take().is_some() {
+            self.current_bytes -= (buf.len as u64) * 4;
+        } else {
+            panic!("double free of device buffer {}", buf.id);
+        }
+    }
+
+    /// Copy a buffer's contents back to the host.
+    pub fn read_vec<T: Word>(&self, buf: DeviceBuffer<T>) -> Vec<T> {
+        let storage = self.storage(buf.id);
+        storage
+            .words
+            .iter()
+            .map(|w| T::from_bits(w.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Overwrite a buffer's contents from a host slice (host-to-device copy).
+    pub fn write_slice<T: Word>(&self, buf: DeviceBuffer<T>, data: &[T]) {
+        assert_eq!(data.len(), buf.len, "write_slice length mismatch");
+        let storage = self.storage(buf.id);
+        for (w, v) in storage.words.iter().zip(data) {
+            w.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Fill a buffer with a single value (device-side memset).
+    pub fn fill<T: Word>(&self, buf: DeviceBuffer<T>, value: T) {
+        let storage = self.storage(buf.id);
+        let bits = value.to_bits();
+        for w in storage.words.iter() {
+            w.store(bits, Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn current_bytes(&self) -> u64 {
+        self.current_bytes
+    }
+
+    /// High-water mark of allocated bytes over the memory's lifetime.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Reset the peak-bytes statistic to the current allocation level, so a
+    /// harness can measure the peak of one experiment in isolation.
+    pub fn reset_peak(&mut self) {
+        self.peak_bytes = self.current_bytes;
+    }
+
+    #[inline]
+    fn storage(&self, id: usize) -> &Storage {
+        self.buffers
+            .get(id)
+            .expect("unknown device buffer")
+            .as_ref()
+            .expect("use after free of device buffer")
+    }
+
+    // ---- word-level operations used by the warp context ----
+
+    #[inline]
+    pub(crate) fn load_bits(&self, id: usize, idx: usize) -> u32 {
+        self.storage(id).words[idx].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn store_bits(&self, id: usize, idx: usize, bits: u32) {
+        self.storage(id).words[idx].store(bits, Ordering::Relaxed);
+    }
+
+    /// Atomic float add returning the previous value (CUDA `atomicAdd`).
+    #[inline]
+    pub(crate) fn atomic_add_f32(&self, id: usize, idx: usize, val: f32) -> f32 {
+        let word = &self.storage(id).words[idx];
+        let mut cur = word.load(Ordering::Relaxed);
+        loop {
+            let new = (f32::from_bits(cur) + val).to_bits();
+            match word.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return f32::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomic u32 add returning the previous value.
+    #[inline]
+    pub(crate) fn atomic_add_u32(&self, id: usize, idx: usize, val: u32) -> u32 {
+        self.storage(id).words[idx].fetch_add(val, Ordering::AcqRel)
+    }
+
+    /// Atomic f32 max via CAS, returning the previous value.
+    #[inline]
+    pub(crate) fn atomic_max_f32(&self, id: usize, idx: usize, val: f32) -> f32 {
+        let word = &self.storage(id).words[idx];
+        let mut cur = word.load(Ordering::Relaxed);
+        loop {
+            let cur_f = f32::from_bits(cur);
+            if cur_f >= val {
+                return cur_f;
+            }
+            match word.compare_exchange_weak(
+                cur,
+                val.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return cur_f,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl Default for DeviceMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_roundtrip() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_from(&[1.0f32, 2.0, 3.0]);
+        assert_eq!(mem.read_vec(buf), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn buffers_are_sector_disjoint() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc::<f32>(3);
+        let b = mem.alloc::<f32>(3);
+        // Different buffers never share a 32-byte sector.
+        assert!(b.addr_of(0) / 32 > a.addr_of(2) / 32);
+    }
+
+    #[test]
+    fn consecutive_elements_share_sectors() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc::<f32>(64);
+        assert_eq!(a.addr_of(0) / 32, a.addr_of(7) / 32);
+        assert_ne!(a.addr_of(0) / 32, a.addr_of(8) / 32);
+    }
+
+    #[test]
+    fn atomic_add_f32_accumulates() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc::<f32>(1);
+        for _ in 0..100 {
+            mem.atomic_add_f32(buf.id, 0, 0.5);
+        }
+        assert_eq!(mem.read_vec(buf)[0], 50.0);
+    }
+
+    #[test]
+    fn atomic_max_f32() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc::<f32>(1);
+        mem.write_slice(buf, &[-1.0]);
+        assert_eq!(mem.atomic_max_f32(buf.id, 0, 3.0), -1.0);
+        assert_eq!(mem.atomic_max_f32(buf.id, 0, 2.0), 3.0);
+        assert_eq!(mem.read_vec(buf)[0], 3.0);
+    }
+
+    #[test]
+    fn peak_bytes_tracks_free() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc::<f32>(1000);
+        let peak_after_a = mem.peak_bytes();
+        mem.free(a);
+        assert_eq!(mem.current_bytes(), 0);
+        assert_eq!(mem.peak_bytes(), peak_after_a);
+        let _b = mem.alloc::<f32>(100);
+        assert_eq!(mem.peak_bytes(), peak_after_a);
+    }
+
+    #[test]
+    #[should_panic(expected = "use after free")]
+    fn use_after_free_panics() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc::<f32>(4);
+        mem.free(a);
+        let _ = mem.read_vec(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal device memory access")]
+    fn out_of_bounds_addr_panics() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc::<f32>(4);
+        let _ = a.addr_of(4);
+    }
+}

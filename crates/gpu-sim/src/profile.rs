@@ -1,0 +1,293 @@
+//! Nsight-Compute-like kernel profiles.
+//!
+//! [`KernelProfile`] reports, for one launch, the metrics the paper's
+//! Section 2.3 defines: SM utilization, achieved occupancy, sectors per
+//! request, stall-for-long-scoreboard, plus traffic breakdowns. An
+//! [`OpProfile`] aggregates several launches into one logical operation
+//! (e.g. DGL's 18-kernel GAT graph convolution) the way the paper's
+//! Table 3 reports "runtime" vs "GPU time".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Profile of a single kernel launch.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub name: String,
+    /// Blocks launched.
+    pub grid_blocks: usize,
+    /// Threads per block.
+    pub block_threads: usize,
+    /// Modelled GPU execution cycles (max over SMs).
+    pub gpu_cycles: f64,
+    /// GPU execution time, ms.
+    pub gpu_time_ms: f64,
+    /// End-to-end time including the host launch overhead, ms.
+    pub runtime_ms: f64,
+
+    // ---- utilization ----
+    /// Fraction of issue slots used across the device (0..1).
+    pub sm_utilization: f64,
+    /// Achieved occupancy: average resident warps / max warps (0..1).
+    pub achieved_occupancy: f64,
+    /// SIMD lane efficiency: active lane-steps / total lane-steps (0..1).
+    pub simd_efficiency: f64,
+
+    // ---- memory ----
+    /// Average sectors per global load request.
+    pub sectors_per_request: f64,
+    /// Average cycles a warp waited per memory request ("stall long
+    /// scoreboard").
+    pub stall_long_scoreboard: f64,
+    /// L1 sector hit rate (0..1).
+    pub l1_hit_rate: f64,
+    /// L2 sector hit rate among L1 misses (0..1).
+    pub l2_hit_rate: f64,
+    /// Bytes loaded from below the L1 (L2 + DRAM service).
+    pub load_bytes: u64,
+    /// Bytes of load traffic served by DRAM.
+    pub dram_load_bytes: u64,
+    /// Bytes written by plain stores.
+    pub store_bytes: u64,
+    /// Bytes of atomic read-modify-write traffic.
+    pub atomic_bytes: u64,
+
+    // ---- counts ----
+    /// Global load requests.
+    pub mem_requests: u64,
+    /// Atomic requests.
+    pub atomic_requests: u64,
+    /// Warp instructions issued.
+    pub insts: u64,
+    /// Warps executed.
+    pub warps_run: u64,
+    /// Blocks executed.
+    pub blocks_run: u64,
+    /// Cost-model breakdown at the critical SM (the one that set
+    /// `gpu_cycles`): issue-throughput, memory-bandwidth, latency-hiding,
+    /// critical-warp, and block-scheduling components. Which of these is
+    /// largest names the kernel's limiter.
+    pub limiter: LimiterBreakdown,
+}
+
+/// Per-term cycle components of the analytic cost model at the critical SM.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, Default)]
+pub struct LimiterBreakdown {
+    /// Instruction-issue throughput bound, cycles.
+    pub issue: f64,
+    /// Memory bandwidth bound, cycles.
+    pub bandwidth: f64,
+    /// Latency-hiding (slot) bound, cycles.
+    pub latency: f64,
+    /// Longest single warp, cycles.
+    pub critical_warp: f64,
+    /// Block scheduling overhead, cycles.
+    pub scheduling: f64,
+}
+
+impl LimiterBreakdown {
+    /// Name of the dominant term.
+    pub fn name(&self) -> &'static str {
+        let candidates = [
+            (self.issue, "issue"),
+            (self.bandwidth, "bandwidth"),
+            (self.latency, "latency"),
+            (self.critical_warp, "critical-warp"),
+            (self.scheduling, "scheduling"),
+        ];
+        candidates
+            .into_iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .map(|(_, n)| n)
+            .unwrap_or("none")
+    }
+}
+
+impl KernelProfile {
+    /// Total global memory traffic (loads below L1 + stores + atomics).
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.load_bytes + self.store_bytes + self.atomic_bytes
+    }
+}
+
+impl fmt::Display for KernelProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel `{}` <<<{}, {}>>>",
+            self.name, self.grid_blocks, self.block_threads
+        )?;
+        writeln!(
+            f,
+            "  gpu {:.4} ms | runtime {:.4} ms | SM util {:.1}% | occupancy {:.1}% | simd {:.1}%",
+            self.gpu_time_ms,
+            self.runtime_ms,
+            self.sm_utilization * 100.0,
+            self.achieved_occupancy * 100.0,
+            self.simd_efficiency * 100.0
+        )?;
+        writeln!(
+            f,
+            "  sectors/req {:.2} | scoreboard {:.1} cyc | L1 {:.1}% | load {:.1} MB | store {:.1} MB | atomic {:.1} MB",
+            self.sectors_per_request,
+            self.stall_long_scoreboard,
+            self.l1_hit_rate * 100.0,
+            self.load_bytes as f64 / 1e6,
+            self.store_bytes as f64 / 1e6,
+            self.atomic_bytes as f64 / 1e6
+        )
+    }
+}
+
+/// Aggregate of several kernel launches forming one logical operation.
+///
+/// ```
+/// use gpu_sim::{KernelProfile, OpProfile};
+/// let mut op = OpProfile::new("gat_conv");
+/// let k = KernelProfile { gpu_time_ms: 1.0, runtime_ms: 1.1, ..Default::default() };
+/// op.add(&k);
+/// op.add(&k);
+/// assert_eq!(op.kernel_launches, 2);
+/// assert!((op.gpu_time_ms - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct OpProfile {
+    /// Operation name.
+    pub name: String,
+    /// Number of kernel launches composing the op.
+    pub kernel_launches: usize,
+    /// Sum of GPU times, ms.
+    pub gpu_time_ms: f64,
+    /// Sum of runtimes (GPU + per-launch host overhead), ms.
+    pub runtime_ms: f64,
+    /// Extra host-side framework overhead added on top (e.g. Python
+    /// dispatch of a framework baseline), ms.
+    pub framework_overhead_ms: f64,
+    /// Sum of load traffic, bytes.
+    pub load_bytes: u64,
+    /// Sum of store traffic, bytes.
+    pub store_bytes: u64,
+    /// Sum of atomic traffic, bytes.
+    pub atomic_bytes: u64,
+    /// Peak device memory observed during the op, bytes.
+    pub peak_mem_bytes: u64,
+    /// Launch-weighted average SM utilization.
+    pub sm_utilization: f64,
+    /// Launch-weighted average achieved occupancy.
+    pub achieved_occupancy: f64,
+    /// Launch-weighted average stall-long-scoreboard.
+    pub stall_long_scoreboard: f64,
+    /// Launch-weighted average sectors per request.
+    pub sectors_per_request: f64,
+    /// Host-side preprocessing time charged to the op (e.g. GNNAdvisor's
+    /// reordering and neighbor-group building), ms.
+    pub preprocess_ms: f64,
+}
+
+impl OpProfile {
+    /// Start an empty aggregate.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Fold one kernel launch into the aggregate. Time-weighted averages
+    /// use GPU time as the weight.
+    pub fn add(&mut self, p: &KernelProfile) {
+        let w_old = self.gpu_time_ms;
+        let w_new = p.gpu_time_ms;
+        let total = (w_old + w_new).max(1e-12);
+        self.sm_utilization = (self.sm_utilization * w_old + p.sm_utilization * w_new) / total;
+        self.achieved_occupancy =
+            (self.achieved_occupancy * w_old + p.achieved_occupancy * w_new) / total;
+        self.stall_long_scoreboard =
+            (self.stall_long_scoreboard * w_old + p.stall_long_scoreboard * w_new) / total;
+        self.sectors_per_request =
+            (self.sectors_per_request * w_old + p.sectors_per_request * w_new) / total;
+        self.kernel_launches += 1;
+        self.gpu_time_ms += p.gpu_time_ms;
+        self.runtime_ms += p.runtime_ms;
+        self.load_bytes += p.load_bytes;
+        self.store_bytes += p.store_bytes;
+        self.atomic_bytes += p.atomic_bytes;
+    }
+
+    /// Add host-side framework dispatch overhead (per launch already added).
+    pub fn add_framework_overhead_ms(&mut self, ms: f64) {
+        self.framework_overhead_ms += ms;
+        self.runtime_ms += ms;
+    }
+
+    /// Total traffic in bytes.
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.load_bytes + self.store_bytes + self.atomic_bytes
+    }
+
+    /// Host-visible runtime minus the GPU time: the launch/dispatch
+    /// overhead the paper's Table 3 isolates.
+    pub fn host_overhead_ms(&self) -> f64 {
+        self.runtime_ms - self.gpu_time_ms
+    }
+}
+
+impl fmt::Display for OpProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "op `{}`: {} launches | gpu {:.4} ms | runtime {:.4} ms | overhead {:.4} ms",
+            self.name,
+            self.kernel_launches,
+            self.gpu_time_ms,
+            self.runtime_ms,
+            self.host_overhead_ms()
+        )?;
+        writeln!(
+            f,
+            "  traffic {:.1} MB (load {:.1} / store {:.1} / atomic {:.1}) | peak mem {:.1} MB",
+            self.total_traffic_bytes() as f64 / 1e6,
+            self.load_bytes as f64 / 1e6,
+            self.store_bytes as f64 / 1e6,
+            self.atomic_bytes as f64 / 1e6,
+            self.peak_mem_bytes as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(gpu_ms: f64, util: f64) -> KernelProfile {
+        KernelProfile {
+            name: "k".into(),
+            gpu_time_ms: gpu_ms,
+            runtime_ms: gpu_ms + 0.01,
+            sm_utilization: util,
+            load_bytes: 100,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn op_profile_accumulates() {
+        let mut op = OpProfile::new("gat");
+        op.add(&sample(1.0, 0.2));
+        op.add(&sample(3.0, 0.6));
+        assert_eq!(op.kernel_launches, 2);
+        assert!((op.gpu_time_ms - 4.0).abs() < 1e-9);
+        assert_eq!(op.load_bytes, 200);
+        // Time-weighted utilization: (0.2*1 + 0.6*3) / 4 = 0.5.
+        assert!((op.sm_utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_overhead_isolated() {
+        let mut op = OpProfile::new("x");
+        op.add(&sample(1.0, 0.1));
+        op.add_framework_overhead_ms(2.0);
+        assert!((op.host_overhead_ms() - 2.01).abs() < 1e-9);
+    }
+}

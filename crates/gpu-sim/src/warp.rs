@@ -1,0 +1,600 @@
+//! Warp execution context: the lane-level API simulated kernels program
+//! against, and the per-warp statistics it records.
+//!
+//! A kernel's `run_warp` receives a [`WarpCtx`] and expresses its work as
+//! warp-wide operations: SIMD issue ([`WarpCtx::issue`]), coalescable
+//! global loads/stores (closure maps lane → element index, `None` = lane
+//! inactive), atomics, shared memory, and barriers. Every operation both
+//! *performs* the data movement against [`DeviceMemory`] (results are real)
+//! and *accounts* its cost: lane addresses are grouped into 32-byte sectors,
+//! sectors probe the L1/L2 models, and latencies/traffic accumulate into
+//! [`WarpStats`].
+
+use crate::cache::{SectorCache, SharedCache};
+use crate::config::{DeviceConfig, WARP_SIZE};
+use crate::mem::{DeviceBuffer, DeviceMemory, Word};
+
+/// Per-warp counters; summed per SM and then per kernel by the launcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WarpStats {
+    /// Warp instructions issued (memory instructions included).
+    pub insts: u64,
+    /// Cycles spent issuing instructions.
+    pub issue_cycles: u64,
+    /// Global-memory load requests (one per warp load instruction).
+    pub mem_requests: u64,
+    /// Sectors touched by load requests (coalescing metric numerator).
+    pub mem_sectors: u64,
+    /// Cycles the warp stalled waiting on loads ("long scoreboard").
+    pub mem_lat_cycles: u64,
+    /// Load sectors served by the L1.
+    pub l1_hit_sectors: u64,
+    /// Load sectors served by the L2.
+    pub l2_hit_sectors: u64,
+    /// Load sectors served by DRAM.
+    pub dram_sectors: u64,
+    /// Store requests issued.
+    pub store_requests: u64,
+    /// Sectors written by stores.
+    pub store_sectors: u64,
+    /// Atomic requests issued.
+    pub atomic_requests: u64,
+    /// Sectors touched by atomics (all bypass L1).
+    pub atomic_sectors: u64,
+    /// Cycles spent in atomic round trips and conflict serialization.
+    pub atomic_lat_cycles: u64,
+    /// Active lanes summed over SIMD steps (divergence numerator).
+    pub active_lane_steps: u64,
+    /// `WARP_SIZE` × SIMD steps (divergence denominator).
+    pub total_lane_steps: u64,
+    /// Shared-memory requests.
+    pub shared_requests: u64,
+    /// Block-level barriers executed.
+    pub syncs: u64,
+}
+
+impl WarpStats {
+    /// Merge another warp's counters into this accumulator.
+    pub fn merge(&mut self, o: &WarpStats) {
+        self.insts += o.insts;
+        self.issue_cycles += o.issue_cycles;
+        self.mem_requests += o.mem_requests;
+        self.mem_sectors += o.mem_sectors;
+        self.mem_lat_cycles += o.mem_lat_cycles;
+        self.l1_hit_sectors += o.l1_hit_sectors;
+        self.l2_hit_sectors += o.l2_hit_sectors;
+        self.dram_sectors += o.dram_sectors;
+        self.store_requests += o.store_requests;
+        self.store_sectors += o.store_sectors;
+        self.atomic_requests += o.atomic_requests;
+        self.atomic_sectors += o.atomic_sectors;
+        self.atomic_lat_cycles += o.atomic_lat_cycles;
+        self.active_lane_steps += o.active_lane_steps;
+        self.total_lane_steps += o.total_lane_steps;
+        self.shared_requests += o.shared_requests;
+        self.syncs += o.syncs;
+    }
+
+    /// Total cycles this warp was busy or stalled: its serial execution
+    /// time, with outstanding loads overlapped per the device's
+    /// memory-level-parallelism factors.
+    pub fn warp_cycles(&self, cfg: &DeviceConfig) -> u64 {
+        self.issue_cycles
+            + (self.mem_lat_cycles as f64 / cfg.warp_mlp.max(1.0)) as u64
+            + (self.atomic_lat_cycles as f64 / cfg.atomic_mlp.max(1.0)) as u64
+    }
+
+    /// Load sectors that had to be serviced below the L1 (consume
+    /// interconnect/DRAM bandwidth).
+    pub fn below_l1_sectors(&self) -> u64 {
+        self.l2_hit_sectors + self.dram_sectors
+    }
+}
+
+/// Identity of a warp within a launch.
+#[derive(Debug, Clone, Copy)]
+pub struct WarpId {
+    /// Block index within the grid.
+    pub block_idx: usize,
+    /// Warp index within the block.
+    pub warp_in_block: usize,
+    /// Warps per block for this launch.
+    pub warps_per_block: usize,
+    /// Threads per block for this launch.
+    pub block_dim: usize,
+}
+
+impl WarpId {
+    /// Flat warp index across the whole grid.
+    #[inline]
+    pub fn global_warp(&self) -> usize {
+        self.block_idx * self.warps_per_block + self.warp_in_block
+    }
+}
+
+/// Execution context handed to `Kernel::run_warp`.
+pub struct WarpCtx<'a> {
+    mem: &'a DeviceMemory,
+    l1: &'a mut SectorCache,
+    l2: &'a SharedCache,
+    cfg: &'a DeviceConfig,
+    shared: &'a mut [f32],
+    id: WarpId,
+    /// Counters for this warp (read by the launcher afterwards).
+    pub stats: WarpStats,
+}
+
+/// Scratch for sector grouping: at most one sector per lane.
+type SectorSet = ([u64; WARP_SIZE], usize);
+
+#[inline]
+fn push_sector(set: &mut SectorSet, sector: u64) {
+    let (buf, n) = set;
+    if !buf[..*n].contains(&sector) {
+        buf[*n] = sector;
+        *n += 1;
+    }
+}
+
+impl<'a> WarpCtx<'a> {
+    pub(crate) fn new(
+        mem: &'a DeviceMemory,
+        l1: &'a mut SectorCache,
+        l2: &'a SharedCache,
+        cfg: &'a DeviceConfig,
+        shared: &'a mut [f32],
+        id: WarpId,
+    ) -> Self {
+        Self {
+            mem,
+            l1,
+            l2,
+            cfg,
+            shared,
+            id,
+            stats: WarpStats::default(),
+        }
+    }
+
+    /// Number of lanes in this warp (always 32).
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        WARP_SIZE
+    }
+
+    /// Block index within the grid.
+    #[inline]
+    pub fn block_idx(&self) -> usize {
+        self.id.block_idx
+    }
+
+    /// Warp index within the block.
+    #[inline]
+    pub fn warp_in_block(&self) -> usize {
+        self.id.warp_in_block
+    }
+
+    /// Warps per block.
+    #[inline]
+    pub fn warps_per_block(&self) -> usize {
+        self.id.warps_per_block
+    }
+
+    /// Threads per block.
+    #[inline]
+    pub fn block_dim(&self) -> usize {
+        self.id.block_dim
+    }
+
+    /// Flat warp index across the grid.
+    #[inline]
+    pub fn global_warp(&self) -> usize {
+        self.id.global_warp()
+    }
+
+    // ---- instruction issue ----
+
+    /// Account `insts` warp-wide instructions with all 32 lanes active.
+    #[inline]
+    pub fn issue(&mut self, insts: u64) {
+        self.issue_simd(insts, WARP_SIZE);
+    }
+
+    /// Account `insts` warp-wide instructions with only `active` lanes
+    /// doing useful work (branch divergence: idle lanes still occupy the
+    /// issue slot).
+    #[inline]
+    pub fn issue_simd(&mut self, insts: u64, active: usize) {
+        debug_assert!(active <= WARP_SIZE);
+        self.stats.insts += insts;
+        self.stats.issue_cycles += insts;
+        self.stats.active_lane_steps += insts * active as u64;
+        self.stats.total_lane_steps += insts * WARP_SIZE as u64;
+    }
+
+    /// Account a warp-level tree reduction/shuffle (log2(32) = 5 shuffle
+    /// instructions plus the combine ops).
+    #[inline]
+    pub fn shfl_reduce(&mut self) {
+        self.issue(10);
+    }
+
+    // ---- global memory: loads ----
+
+    /// Coalescable warp load: `lane_idx(lane)` yields the element index the
+    /// lane reads, or `None` if the lane is inactive. Returns one value per
+    /// lane (inactive lanes get `T::default()`).
+    pub fn ld<T: Word>(
+        &mut self,
+        buf: DeviceBuffer<T>,
+        mut lane_idx: impl FnMut(usize) -> Option<usize>,
+    ) -> [T; WARP_SIZE] {
+        let mut out = [T::default(); WARP_SIZE];
+        let mut sectors: SectorSet = ([0; WARP_SIZE], 0);
+        let mut active = 0usize;
+        for (lane, slot) in out.iter_mut().enumerate() {
+            if let Some(idx) = lane_idx(lane) {
+                *slot = T::from_bits(self.mem.load_bits(buf.id, idx));
+                push_sector(&mut sectors, buf.addr_of(idx) / self.cfg.sector_bytes as u64);
+                active += 1;
+            }
+        }
+        self.issue_simd(1, active);
+        if active > 0 {
+            self.account_load(&sectors.0[..sectors.1]);
+        }
+        out
+    }
+
+    /// Load a single element, broadcast to the warp (all lanes read the
+    /// same address: one sector, one request).
+    pub fn ld_scalar<T: Word>(&mut self, buf: DeviceBuffer<T>, idx: usize) -> T {
+        let v = T::from_bits(self.mem.load_bits(buf.id, idx));
+        let sector = buf.addr_of(idx) / self.cfg.sector_bytes as u64;
+        self.issue(1);
+        self.account_load(&[sector]);
+        v
+    }
+
+    fn account_load(&mut self, sectors: &[u64]) {
+        let st = &mut self.stats;
+        st.mem_requests += 1;
+        st.mem_sectors += sectors.len() as u64;
+        // LSU wavefront replays: one per sector, consuming issue slots.
+        st.issue_cycles += (sectors.len() as f64 * self.cfg.lsu_cycles_per_sector) as u64;
+        let mut worst = 0u64;
+        for &s in sectors {
+            let lvl_lat = if self.l1.access(s) {
+                st.l1_hit_sectors += 1;
+                self.cfg.l1_latency
+            } else if self.l2.access(s) {
+                st.l2_hit_sectors += 1;
+                self.cfg.l2_latency
+            } else {
+                st.dram_sectors += 1;
+                self.cfg.dram_latency
+            };
+            worst = worst.max(lvl_lat);
+        }
+        // Extra sectors in one request are issued back to back by the
+        // memory controller: serialization on top of the slowest hit level.
+        st.mem_lat_cycles += worst + (sectors.len() as u64 - 1) * self.cfg.sector_issue_cycles;
+    }
+
+    // ---- global memory: stores ----
+
+    /// Coalescable warp store: `lane_val(lane)` yields `(index, value)` or
+    /// `None` for inactive lanes. Stores are write-through with a write
+    /// buffer: they consume bandwidth but do not stall the warp.
+    pub fn st<T: Word>(
+        &mut self,
+        buf: DeviceBuffer<T>,
+        mut lane_val: impl FnMut(usize) -> Option<(usize, T)>,
+    ) {
+        let mut sectors: SectorSet = ([0; WARP_SIZE], 0);
+        let mut active = 0usize;
+        for lane in 0..WARP_SIZE {
+            if let Some((idx, v)) = lane_val(lane) {
+                self.mem.store_bits(buf.id, idx, v.to_bits());
+                push_sector(&mut sectors, buf.addr_of(idx) / self.cfg.sector_bytes as u64);
+                active += 1;
+            }
+        }
+        self.issue_simd(1, active);
+        if active > 0 {
+            let st = &mut self.stats;
+            st.store_requests += 1;
+            st.store_sectors += sectors.1 as u64;
+            st.issue_cycles += (sectors.1 as f64 * self.cfg.lsu_cycles_per_sector) as u64;
+            // Write-through: data lands in L2 (so later loads may hit).
+            for &s in &sectors.0[..sectors.1] {
+                self.l2.access(s);
+                self.l1.invalidate(s);
+            }
+            st.issue_cycles += (sectors.1 as u64 - 1) * self.cfg.sector_issue_cycles;
+        }
+    }
+
+    // ---- atomics ----
+
+    /// Warp atomic float add: `lane_op(lane)` yields `(index, addend)` or
+    /// `None`. Atomics bypass L1, round-trip to L2, and serialize between
+    /// lanes that hit the same address.
+    pub fn atomic_add_f32(
+        &mut self,
+        buf: DeviceBuffer<f32>,
+        mut lane_op: impl FnMut(usize) -> Option<(usize, f32)>,
+    ) {
+        let mut sectors: SectorSet = ([0; WARP_SIZE], 0);
+        let mut addrs: ([u64; WARP_SIZE], usize) = ([0; WARP_SIZE], 0);
+        let mut max_conflict = 0usize;
+        let mut counts = [0u8; WARP_SIZE];
+        let mut active = 0usize;
+        for lane in 0..WARP_SIZE {
+            if let Some((idx, v)) = lane_op(lane) {
+                self.mem.atomic_add_f32(buf.id, idx, v);
+                let addr = buf.addr_of(idx);
+                push_sector(&mut sectors, addr / self.cfg.sector_bytes as u64);
+                let (abuf, n) = &mut addrs;
+                match abuf[..*n].iter().position(|&a| a == addr) {
+                    Some(p) => counts[p] += 1,
+                    None => {
+                        abuf[*n] = addr;
+                        counts[*n] = 1;
+                        *n += 1;
+                    }
+                }
+                active += 1;
+            }
+        }
+        for &c in &counts[..addrs.1] {
+            max_conflict = max_conflict.max(c as usize);
+        }
+        self.issue_simd(1, active);
+        if active > 0 {
+            self.account_atomic(&sectors.0[..sectors.1], addrs.1, max_conflict);
+        }
+    }
+
+    /// Single-lane atomic add on a `u32` (e.g. the software task-pool
+    /// cursor of Algorithm 1). Returns the previous value.
+    pub fn atomic_add_u32_scalar(&mut self, buf: DeviceBuffer<u32>, idx: usize, val: u32) -> u32 {
+        let old = self.mem.atomic_add_u32(buf.id, idx, val);
+        let sector = buf.addr_of(idx) / self.cfg.sector_bytes as u64;
+        self.issue_simd(1, 1);
+        self.account_atomic(&[sector], 1, 1);
+        old
+    }
+
+    /// Warp atomic float max (used by multi-kernel softmax pipelines).
+    pub fn atomic_max_f32(
+        &mut self,
+        buf: DeviceBuffer<f32>,
+        mut lane_op: impl FnMut(usize) -> Option<(usize, f32)>,
+    ) {
+        let mut sectors: SectorSet = ([0; WARP_SIZE], 0);
+        let mut distinct = 0usize;
+        let mut active = 0usize;
+        for lane in 0..WARP_SIZE {
+            if let Some((idx, v)) = lane_op(lane) {
+                self.mem.atomic_max_f32(buf.id, idx, v);
+                push_sector(&mut sectors, buf.addr_of(idx) / self.cfg.sector_bytes as u64);
+                distinct += 1;
+                active += 1;
+            }
+        }
+        self.issue_simd(1, active);
+        if active > 0 {
+            self.account_atomic(&sectors.0[..sectors.1], distinct.min(WARP_SIZE), 1);
+        }
+    }
+
+    fn account_atomic(&mut self, sectors: &[u64], distinct_addrs: usize, max_conflict: usize) {
+        let st = &mut self.stats;
+        st.atomic_requests += 1;
+        st.atomic_sectors += sectors.len() as u64;
+        st.issue_cycles += (sectors.len() as f64 * self.cfg.lsu_cycles_per_sector) as u64;
+        for &s in sectors {
+            self.l1.invalidate(s);
+            self.l2.access(s);
+        }
+        st.atomic_lat_cycles += self.cfg.atomic_latency
+            + (distinct_addrs.saturating_sub(1) as u64) * self.cfg.sector_issue_cycles
+            + (max_conflict.saturating_sub(1) as u64) * self.cfg.atomic_conflict_cycles;
+    }
+
+    // ---- shared memory and barriers ----
+
+    /// Raw access to this block's shared memory. The caller is responsible
+    /// for charging requests via [`WarpCtx::charge_shared`]. Warps of one
+    /// block execute sequentially on the simulated SM, so `&mut` access is
+    /// race-free; ordering across warps still requires [`WarpCtx::sync_threads`]
+    /// semantics at the algorithm level, as on hardware.
+    pub fn shared(&mut self) -> &mut [f32] {
+        self.shared
+    }
+
+    /// Charge `requests` shared-memory accesses.
+    pub fn charge_shared(&mut self, requests: u64) {
+        self.stats.shared_requests += requests;
+        self.stats.issue_cycles += requests * self.cfg.shared_latency;
+        self.stats.insts += requests;
+    }
+
+    /// Account one warp-wide shared-memory access with bank-conflict
+    /// modelling: the 32 banks are interleaved at word granularity, and a
+    /// request replays once per extra *distinct word* mapped to the same
+    /// bank (lanes reading the same word broadcast for free). Returns the
+    /// conflict degree (1 = conflict-free).
+    pub fn shared_access(&mut self, mut lane_word: impl FnMut(usize) -> Option<usize>) -> u32 {
+        // Per bank, the distinct word addresses seen (at most 32 lanes).
+        let mut bank_words: [([usize; WARP_SIZE], usize); 32] =
+            [([0; WARP_SIZE], 0); 32];
+        let mut active = 0usize;
+        for lane in 0..WARP_SIZE {
+            if let Some(word) = lane_word(lane) {
+                active += 1;
+                let (words, n) = &mut bank_words[word % 32];
+                if !words[..*n].contains(&word) {
+                    words[*n] = word;
+                    *n += 1;
+                }
+            }
+        }
+        let conflicts = bank_words.iter().map(|(_, n)| *n).max().unwrap_or(0).max(1) as u32;
+        self.stats.shared_requests += 1;
+        self.stats.insts += 1;
+        self.stats.issue_cycles += self.cfg.shared_latency * conflicts as u64;
+        self.stats.active_lane_steps += active as u64;
+        self.stats.total_lane_steps += WARP_SIZE as u64;
+        conflicts
+    }
+
+    /// Block-wide barrier (`__syncthreads()`).
+    pub fn sync_threads(&mut self) {
+        self.stats.syncs += 1;
+        self.stats.issue_cycles += self.cfg.sync_cycles;
+        self.stats.insts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn harness() -> (DeviceMemory, SectorCache, SharedCache, DeviceConfig) {
+        let cfg = DeviceConfig::test_small();
+        let mem = DeviceMemory::new();
+        let l1 = SectorCache::new(cfg.l1_bytes, cfg.sector_bytes);
+        let l2 = SharedCache::new(cfg.l2_bytes, cfg.sector_bytes);
+        (mem, l1, l2, cfg)
+    }
+
+    fn warp_id() -> WarpId {
+        WarpId {
+            block_idx: 0,
+            warp_in_block: 0,
+            warps_per_block: 1,
+            block_dim: 32,
+        }
+    }
+
+    #[test]
+    fn coalesced_load_touches_four_sectors() {
+        let (mut mem, mut l1, l2, cfg) = harness();
+        let data: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let buf = mem.alloc_from(&data);
+        let mut shared = [];
+        let mut w = WarpCtx::new(&mem, &mut l1, &l2, &cfg, &mut shared, warp_id());
+        let vals = w.ld(buf, Some);
+        assert_eq!(vals[5], 5.0);
+        // 32 consecutive f32 = 128 bytes = 4 sectors of 32B.
+        assert_eq!(w.stats.mem_requests, 1);
+        assert_eq!(w.stats.mem_sectors, 4);
+    }
+
+    #[test]
+    fn strided_load_is_uncoalesced() {
+        let (mut mem, mut l1, l2, cfg) = harness();
+        let data: Vec<f32> = (0..32 * 64).map(|i| i as f32).collect();
+        let buf = mem.alloc_from(&data);
+        let mut shared = [];
+        let mut w = WarpCtx::new(&mem, &mut l1, &l2, &cfg, &mut shared, warp_id());
+        // Stride of 64 floats = 256 bytes: every lane in its own sector.
+        let _ = w.ld(buf, |lane| Some(lane * 64));
+        assert_eq!(w.stats.mem_sectors, 32);
+        assert!(w.stats.mem_lat_cycles > cfg.dram_latency);
+    }
+
+    #[test]
+    fn repeated_scalar_load_hits_l1() {
+        let (mut mem, mut l1, l2, cfg) = harness();
+        let buf = mem.alloc_from(&[42.0f32]);
+        let mut shared = [];
+        let mut w = WarpCtx::new(&mem, &mut l1, &l2, &cfg, &mut shared, warp_id());
+        let a = w.ld_scalar(buf, 0);
+        let b = w.ld_scalar(buf, 0);
+        assert_eq!((a, b), (42.0, 42.0));
+        assert_eq!(w.stats.l1_hit_sectors, 1);
+        assert_eq!(w.stats.dram_sectors, 1);
+    }
+
+    #[test]
+    fn store_writes_and_counts() {
+        let (mut mem, mut l1, l2, cfg) = harness();
+        let buf = mem.alloc::<f32>(32);
+        let mut shared = [];
+        let mut w = WarpCtx::new(&mem, &mut l1, &l2, &cfg, &mut shared, warp_id());
+        w.st(buf, |lane| Some((lane, lane as f32 * 2.0)));
+        assert_eq!(w.stats.store_requests, 1);
+        assert_eq!(w.stats.store_sectors, 4);
+        let _ = w;
+        assert_eq!(mem.read_vec(buf)[31], 62.0);
+    }
+
+    #[test]
+    fn atomic_conflict_serializes() {
+        let (mut mem, mut l1, l2, cfg) = harness();
+        let buf = mem.alloc::<f32>(1);
+        let mut shared = [];
+        let mut w = WarpCtx::new(&mem, &mut l1, &l2, &cfg, &mut shared, warp_id());
+        // All 32 lanes add to the same address: worst-case conflict.
+        w.atomic_add_f32(buf, |_| Some((0, 1.0)));
+        assert_eq!(w.stats.atomic_requests, 1);
+        assert!(w.stats.atomic_lat_cycles >= cfg.atomic_latency + 31 * cfg.atomic_conflict_cycles);
+        let _ = w;
+        assert_eq!(mem.read_vec(buf)[0], 32.0);
+    }
+
+    #[test]
+    fn atomic_disjoint_cheaper_than_conflicting() {
+        let (mut mem, mut l1, l2, cfg) = harness();
+        let buf = mem.alloc::<f32>(64);
+        let mut shared = [];
+        let mut w1 = WarpCtx::new(&mem, &mut l1, &l2, &cfg, &mut shared, warp_id());
+        w1.atomic_add_f32(buf, |lane| Some((lane, 1.0)));
+        let disjoint = w1.stats.atomic_lat_cycles;
+        let _ = w1;
+        let mut shared2 = [];
+        let mut w2 = WarpCtx::new(&mem, &mut l1, &l2, &cfg, &mut shared2, warp_id());
+        w2.atomic_add_f32(buf, |_| Some((0, 1.0)));
+        assert!(w2.stats.atomic_lat_cycles > disjoint);
+    }
+
+    #[test]
+    fn divergence_tracked() {
+        let (mem, mut l1, l2, cfg) = harness();
+        let mut shared = [];
+        let mut w = WarpCtx::new(&mem, &mut l1, &l2, &cfg, &mut shared, warp_id());
+        w.issue_simd(10, 8);
+        assert_eq!(w.stats.active_lane_steps, 80);
+        assert_eq!(w.stats.total_lane_steps, 320);
+    }
+
+    #[test]
+    fn shared_bank_conflicts_counted() {
+        let (mem, mut l1, l2, cfg) = harness();
+        let mut shared = [];
+        let mut w = WarpCtx::new(&mem, &mut l1, &l2, &cfg, &mut shared, warp_id());
+        // Consecutive words: one word per bank, conflict-free.
+        assert_eq!(w.shared_access(Some), 1);
+        // Stride 32: every lane in bank 0 with a distinct word: 32-way.
+        assert_eq!(w.shared_access(|l| Some(l * 32)), 32);
+        // Same word for all lanes: broadcast, conflict-free.
+        assert_eq!(w.shared_access(|_| Some(64)), 1);
+        // Stride 2: two words per bank across 16 banks: 2-way.
+        assert_eq!(w.shared_access(|l| Some(l * 2)), 2);
+    }
+
+    #[test]
+    fn task_pool_cursor_behaves() {
+        let (mut mem, mut l1, l2, cfg) = harness();
+        let cursor = mem.alloc::<u32>(1);
+        let mut shared = [];
+        let mut w = WarpCtx::new(&mem, &mut l1, &l2, &cfg, &mut shared, warp_id());
+        assert_eq!(w.atomic_add_u32_scalar(cursor, 0, 8), 0);
+        assert_eq!(w.atomic_add_u32_scalar(cursor, 0, 8), 8);
+        assert_eq!(w.atomic_add_u32_scalar(cursor, 0, 8), 16);
+    }
+}

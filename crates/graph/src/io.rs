@@ -1,0 +1,144 @@
+//! Plain-text edge-list I/O.
+//!
+//! Supports the whitespace-separated `src dst` format used by SNAP and
+//! OGB dumps (with `#`/`%` comment lines), so real datasets can be dropped
+//! in when available in place of the synthetic registry.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed line with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending line's text.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parse an edge list. Vertex ids may be sparse; they are compacted to
+/// `0..n` in first-appearance order. Comment lines start with `#` or `%`.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Csr, IoError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    let mut line_buf = String::new();
+    let mut reader = reader;
+    let mut lineno = 0usize;
+    loop {
+        line_buf.clear();
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(IoError::Parse {
+                line: lineno,
+                content: line.to_string(),
+            });
+        };
+        let (Ok(s), Ok(d)) = (a.parse::<u64>(), b.parse::<u64>()) else {
+            return Err(IoError::Parse {
+                line: lineno,
+                content: line.to_string(),
+            });
+        };
+        edges.push((s, d));
+    }
+    // Compact ids.
+    let mut remap = std::collections::HashMap::new();
+    let mut next = 0u32;
+    let mut id = |raw: u64, remap: &mut std::collections::HashMap<u64, u32>| -> u32 {
+        *remap.entry(raw).or_insert_with(|| {
+            let v = next;
+            next += 1;
+            v
+        })
+    };
+    let compact: Vec<(u32, u32)> = edges
+        .iter()
+        .map(|&(s, d)| (id(s, &mut remap), id(d, &mut remap)))
+        .collect();
+    let mut b = GraphBuilder::new(next as usize);
+    b.extend(compact);
+    Ok(b.build())
+}
+
+/// Write a graph as `src dst` lines (destination-row CSR iterated in edge
+/// order).
+pub fn write_edge_list<W: Write>(g: &Csr, mut writer: W) -> std::io::Result<()> {
+    for (s, d) in g.edge_iter() {
+        writeln!(writer, "{s} {d}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip() {
+        let g = generators::erdos_renyi(50, 200, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# a comment\n\n% another\n0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn sparse_ids_compacted() {
+        let text = "1000 2000\n2000 1000\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_line_errors_with_position() {
+        let text = "0 1\nnot an edge\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # tlpgnn-graph — graph substrate for the TLPGNN reproduction
+//!
+//! CSR graph storage in the exact layout the paper's kernels consume,
+//! deterministic synthetic generators, the Table 4 dataset registry, and
+//! the preprocessing utilities (reordering, neighbor grouping, vertex
+//! partitioning) the compared systems rely on.
+//!
+//! ```
+//! use tlpgnn_graph::{datasets, GraphStats};
+//!
+//! let cora = datasets::by_abbr("CR").unwrap();
+//! let g = cora.load();
+//! let stats = GraphStats::of(&g);
+//! assert!(stats.vertices > 2_000);
+//! assert!((stats.avg_degree - cora.avg_degree()).abs() < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+// Index-based loops here typically walk several parallel arrays (CSR
+// offsets, norms, degrees) at once; iterator rewrites obscure that.
+#![allow(clippy::needless_range_loop)]
+
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod io;
+pub mod partition;
+pub mod reorder;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use datasets::{DatasetSpec, DATASETS};
+pub use partition::{NeighborGroup, VertexPartition};
+pub use stats::GraphStats;

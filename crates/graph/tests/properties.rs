@@ -1,0 +1,163 @@
+//! Property-based tests of the graph substrate.
+
+use proptest::prelude::*;
+use tlpgnn_graph::{generators, io, partition, reorder, Csr, GraphBuilder, GraphStats};
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |e| (n, e))
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    b.extend(edges.iter().copied());
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The builder produces a valid CSR whose edge set equals the
+    /// deduplicated, self-loop-free input.
+    #[test]
+    fn builder_invariants((n, edges) in arb_edges(100, 400)) {
+        let g = build(n, &edges);
+        prop_assert!(g.validate().is_ok());
+        let mut want: Vec<(u32, u32)> = edges
+            .iter()
+            .copied()
+            .filter(|(s, d)| s != d)
+            .collect();
+        want.sort_unstable();
+        want.dedup();
+        let mut got: Vec<(u32, u32)> = g.edge_iter().collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Rows are sorted (binary-searchable neighbor lists).
+        for v in 0..n {
+            prop_assert!(g.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Double reversal is the identity on the edge multiset, and degrees
+    /// swap roles exactly.
+    #[test]
+    fn reverse_involution((n, edges) in arb_edges(80, 300)) {
+        let g = build(n, &edges);
+        let r = g.reverse();
+        prop_assert_eq!(g.num_edges(), r.num_edges());
+        let total_in: usize = (0..n).map(|v| g.degree(v)).sum();
+        let total_out: usize = (0..n).map(|v| r.degree(v)).sum();
+        prop_assert_eq!(total_in, total_out);
+        let mut a: Vec<_> = g.edge_iter().collect();
+        let mut b: Vec<_> = r.reverse().edge_iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Permuting and permuting back with the inverse gives the original.
+    #[test]
+    fn permute_roundtrip((n, edges) in arb_edges(60, 250), rot in 1usize..50) {
+        let g = build(n, &edges);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.rotate_left(rot % n);
+        let mut inv = vec![0u32; n];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new as usize] = old as u32;
+        }
+        prop_assert_eq!(g.permute(&perm).permute(&inv), g);
+    }
+
+    /// Edge-list IO round-trips the graph (up to id compaction, which is
+    /// the identity for dense 0..n ids present in edges).
+    #[test]
+    fn io_roundtrip((n, edges) in arb_edges(60, 250)) {
+        let g = build(n, &edges);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = io::read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        // Degrees as a multiset are preserved.
+        let mut d1: Vec<usize> = (0..g.num_vertices()).map(|v| g.degree(v)).collect();
+        let mut d2: Vec<usize> = (0..g2.num_vertices()).map(|v| g2.degree(v)).collect();
+        d1.retain(|&d| d > 0);
+        d2.retain(|&d| d > 0);
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// Partitions cover every vertex exactly once; cut edges never exceed
+    /// the total.
+    #[test]
+    fn partition_covers((n, edges) in arb_edges(100, 400), parts in 1usize..6) {
+        let g = build(n, &edges);
+        let p = partition::edge_balanced_partition(&g, parts);
+        prop_assert_eq!(p.parts(), parts);
+        let covered: usize = (0..parts).map(|i| p.range(i).len()).sum();
+        prop_assert_eq!(covered, n);
+        prop_assert!(partition::cut_edges(&g, &p) <= g.num_edges());
+    }
+
+    /// Neighbor groups tile the edge set exactly, regardless of size.
+    #[test]
+    fn groups_tile_edges((n, edges) in arb_edges(80, 300), size in 1usize..40) {
+        let g = build(n, &edges);
+        let groups = partition::neighbor_groups(&g, size);
+        let covered: usize = groups.iter().map(|gr| gr.len()).sum();
+        prop_assert_eq!(covered, g.num_edges());
+        // Every vertex appears in at least one group.
+        let mut seen = vec![false; n];
+        for gr in &groups {
+            seen[gr.vertex as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Reorderings are permutations and preserve the degree multiset.
+    #[test]
+    fn reorders_preserve_structure((n, edges) in arb_edges(80, 300)) {
+        let g = build(n, &edges);
+        for perm in [reorder::degree_descending(&g), reorder::bfs_locality(&g)] {
+            let mut seen = vec![false; n];
+            for &v in &perm {
+                prop_assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+            let pg = g.permute(&perm);
+            let mut d1: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+            let mut d2: Vec<usize> = (0..n).map(|v| pg.degree(v)).collect();
+            d1.sort_unstable();
+            d2.sort_unstable();
+            prop_assert_eq!(d1, d2);
+        }
+    }
+
+    /// Statistics are internally consistent.
+    #[test]
+    fn stats_consistent((n, edges) in arb_edges(80, 300)) {
+        let g = build(n, &edges);
+        let s = GraphStats::of(&g);
+        prop_assert_eq!(s.vertices, n);
+        prop_assert_eq!(s.edges, g.num_edges());
+        prop_assert!((0.0..=1.0).contains(&s.degree_gini) || s.edges == 0);
+        prop_assert!(s.max_degree <= s.edges);
+        prop_assert!((s.avg_degree - s.edges as f64 / n as f64).abs() < 1e-9);
+    }
+}
+
+/// Generator sanity at a fixed seed (kept out of proptest: generators are
+/// already deterministic).
+#[test]
+fn generators_match_requested_shapes() {
+    for (n, m) in [(100usize, 300usize), (1000, 8000)] {
+        let er = generators::erdos_renyi(n, m, 9);
+        assert!(er.num_edges() <= m && er.num_edges() > m / 2);
+        let rm = generators::rmat_default(n, m, 9);
+        assert!(rm.num_edges() <= m);
+        assert!(rm.max_degree() >= er.max_degree());
+    }
+}

@@ -1,0 +1,26 @@
+//! # tlpgnn-tensor — dense tensor substrate
+//!
+//! Feature matrices and the regular (non-graph) neural-network operations
+//! of a GNN layer: matmul, activations, softmax, dropout, and a dense
+//! linear layer. Everything is deterministic in its seed and parallelized
+//! with rayon over rows.
+//!
+//! ```
+//! use tlpgnn_tensor::{activations, Linear, Matrix};
+//!
+//! let x = Matrix::random(16, 32, 1.0, 7);
+//! let layer = Linear::new(32, 8, true, 1);
+//! let mut h = layer.forward(&x);
+//! activations::relu(&mut h);
+//! assert_eq!(h.shape(), (16, 8));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activations;
+pub mod linear;
+pub mod matrix;
+pub mod ops;
+
+pub use linear::Linear;
+pub use matrix::Matrix;

@@ -1,0 +1,156 @@
+//! Dense linear-algebra operations (rayon-parallel over rows).
+//!
+//! These are the "regular neural network operations" of a GNN layer
+//! (paper Section 2.1): the matmul that projects features before graph
+//! convolution, plus bias/transpose helpers. They run on the host — the
+//! paper, too, measures only the graph-convolution kernel on the GPU and
+//! treats dense ops as standard.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// `a @ b` with shapes `(n, k) x (k, m) -> (n, m)`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
+    let (n, k) = a.shape();
+    let m = b.cols();
+    let mut out = Matrix::zeros(n, m);
+    out.data_mut()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(i, row)| {
+            let arow = a.row(i);
+            // k-outer loop keeps the b accesses streaming (ikj order).
+            for (kk, &av) in arow.iter().enumerate().take(k) {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = b.row(kk);
+                for (o, &bv) in row.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        });
+    out
+}
+
+/// Add a bias row vector to every row in place.
+pub fn add_bias(m: &mut Matrix, bias: &[f32]) {
+    assert_eq!(m.cols(), bias.len(), "bias length mismatch");
+    let cols = m.cols();
+    m.data_mut().par_chunks_mut(cols).for_each(|row| {
+        for (v, b) in row.iter_mut().zip(bias) {
+            *v += b;
+        }
+    });
+}
+
+/// Matrix transpose.
+pub fn transpose(m: &Matrix) -> Matrix {
+    let (r, c) = m.shape();
+    let mut out = Matrix::zeros(c, r);
+    for i in 0..r {
+        for j in 0..c {
+            out.set(j, i, m.get(i, j));
+        }
+    }
+    out
+}
+
+/// Elementwise sum of two matrices.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    let mut out = a.clone();
+    out.data_mut()
+        .par_iter_mut()
+        .zip(b.data())
+        .for_each(|(o, &v)| *o += v);
+    out
+}
+
+/// `a + alpha * b`, elementwise.
+pub fn axpy(a: &Matrix, alpha: f32, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "axpy shape mismatch");
+    let mut out = a.clone();
+    out.data_mut()
+        .par_iter_mut()
+        .zip(b.data())
+        .for_each(|(o, &v)| *o += alpha * v);
+    out
+}
+
+/// Concatenate two matrices along the feature (column) axis.
+pub fn concat_cols(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "concat row mismatch");
+    let rows = a.rows();
+    let mut out = Matrix::zeros(rows, a.cols() + b.cols());
+    for r in 0..rows {
+        let row = out.row_mut(r);
+        row[..a.cols()].copy_from_slice(a.row(r));
+        row[a.cols()..].copy_from_slice(b.row(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::random(6, 6, 1.0, 1);
+        let mut eye = Matrix::zeros(6, 6);
+        for i in 0..6 {
+            eye.set(i, i, 1.0);
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::random(4, 7, 1.0, 2);
+        assert_eq!(transpose(&transpose(&a)), a);
+    }
+
+    #[test]
+    fn bias_added_to_every_row() {
+        let mut m = Matrix::zeros(3, 2);
+        add_bias(&mut m, &[1.0, -1.0]);
+        for r in 0..3 {
+            assert_eq!(m.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let a = Matrix::full(2, 2, 1.0);
+        let b = Matrix::full(2, 2, 2.0);
+        let c = axpy(&a, 0.5, &b);
+        assert!(c.data().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn concat_shapes() {
+        let a = Matrix::full(2, 2, 1.0);
+        let b = Matrix::full(2, 3, 2.0);
+        let c = concat_cols(&a, &b);
+        assert_eq!(c.shape(), (2, 5));
+        assert_eq!(c.row(0), &[1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_check() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -1,0 +1,117 @@
+//! Citation-network node classification with GCN (the workload the
+//! paper's intro motivates: Cora-style semi-supervised classification).
+//!
+//! We plant `K` communities in a synthetic citation graph, give every
+//! paper a *noisy* one-hot community feature, and show that GCN's graph
+//! convolution denoises it: nearest-centroid accuracy jumps after one and
+//! two rounds of degree-normalized neighborhood smoothing. The heavy
+//! lifting runs on the simulated GPU through the TLPGNN engine.
+//!
+//! ```text
+//! cargo run --release --example citation_gcn
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tlpgnn::{GnnModel, TlpgnnEngine};
+use tlpgnn_graph::{Csr, GraphBuilder};
+use tlpgnn_tensor::Matrix;
+
+const COMMUNITIES: usize = 7; // Cora has 7 classes
+const PAPERS: usize = 2_700;
+const CITATIONS: usize = 11_000;
+const NOISE: f32 = 2.0;
+
+/// Stochastic block model: citations mostly stay inside a community.
+fn citation_graph(labels: &[usize], rng: &mut StdRng) -> Csr {
+    let n = labels.len();
+    let mut b = GraphBuilder::new(n);
+    let mut added = 0;
+    while added < CITATIONS {
+        let u = rng.random_range(0..n);
+        let v = if rng.random::<f32>() < 0.9 {
+            // Intra-community citation: rejection-sample a same-label peer.
+            let mut v = rng.random_range(0..n);
+            let mut tries = 0;
+            while labels[v] != labels[u] && tries < 64 {
+                v = rng.random_range(0..n);
+                tries += 1;
+            }
+            v
+        } else {
+            rng.random_range(0..n)
+        };
+        if u != v {
+            b.add_undirected(u as u32, v as u32);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Accuracy of nearest-centroid classification against planted labels.
+fn centroid_accuracy(x: &Matrix, labels: &[usize]) -> f64 {
+    let f = x.cols();
+    let mut centroids = vec![vec![0.0f32; f]; COMMUNITIES];
+    let mut counts = vec![0usize; COMMUNITIES];
+    for (v, &l) in labels.iter().enumerate() {
+        counts[l] += 1;
+        for (c, &xv) in centroids[l].iter_mut().zip(x.row(v)) {
+            *c += xv;
+        }
+    }
+    for (c, &n) in centroids.iter_mut().zip(&counts) {
+        for v in c.iter_mut() {
+            *v /= n.max(1) as f32;
+        }
+    }
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|&(v, &l)| {
+            let row = x.row(v);
+            let best = (0..COMMUNITIES)
+                .min_by(|&a, &b| {
+                    let da: f32 = row.iter().zip(&centroids[a]).map(|(x, c)| (x - c).powi(2)).sum();
+                    let db: f32 = row.iter().zip(&centroids[b]).map(|(x, c)| (x - c).powi(2)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            best == l
+        })
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1433);
+    let labels: Vec<usize> = (0..PAPERS).map(|_| rng.random_range(0..COMMUNITIES)).collect();
+    let graph = citation_graph(&labels, &mut rng);
+    println!("citation graph: {}", tlpgnn_graph::GraphStats::of(&graph));
+
+    // Noisy one-hot features, padded to a warp-friendly width of 32.
+    let mut feats = Matrix::random(PAPERS, 32, NOISE, 7);
+    for (v, &l) in labels.iter().enumerate() {
+        feats.row_mut(v)[l] += 1.0;
+    }
+
+    let mut engine = TlpgnnEngine::v100();
+    println!(
+        "accuracy on raw noisy features:        {:.1}%",
+        centroid_accuracy(&feats, &labels) * 100.0
+    );
+    let (h1, p1) = engine.conv(&GnnModel::Gcn, &graph, &feats);
+    println!(
+        "after 1 GCN convolution ({:.3} ms gpu): {:.1}%",
+        p1.gpu_time_ms,
+        centroid_accuracy(&h1, &labels) * 100.0
+    );
+    let (h2, p2) = engine.conv(&GnnModel::Gcn, &graph, &h1);
+    println!(
+        "after 2 GCN convolutions ({:.3} ms):    {:.1}%",
+        p2.gpu_time_ms,
+        centroid_accuracy(&h2, &labels) * 100.0
+    );
+    println!("\nneighborhood smoothing recovers the planted communities —");
+    println!("the same aggregation a trained GCN relies on, computed by the fused kernel.");
+}

@@ -1,0 +1,57 @@
+//! Heterogeneous-graph convolution (the paper's future-work item) on an
+//! academic-graph scenario: papers connected by `cites`, `shares_author`,
+//! and `same_venue` relations, aggregated R-GCN-style. The fused
+//! multi-relation kernel does all three relations in **one** launch; the
+//! per-relation pipeline pays one launch each plus a self-copy.
+//!
+//! ```text
+//! cargo run --release --example hetero_rgcn
+//! ```
+
+use tlpgnn::hetero::{HeteroEngine, HeteroGraph};
+use tlpgnn_graph::generators;
+use tlpgnn_tensor::Matrix;
+
+fn main() {
+    let n = 100_000;
+    let mut hg = HeteroGraph::new(n);
+    hg.add_relation("cites", generators::rmat_default(n, 10 * n, 90));
+    hg.add_relation("shares_author", generators::erdos_renyi(n, 3 * n, 91));
+    hg.add_relation("same_venue", generators::watts_strogatz(n, 4, 0.05, 92));
+    println!(
+        "academic heterograph: {} vertices, {} edges over {} relations",
+        hg.num_vertices(),
+        hg.num_edges(),
+        hg.relations().len()
+    );
+    for (name, g) in hg.relations() {
+        println!("  {name:>14}: {}", tlpgnn_graph::GraphStats::of(g));
+    }
+
+    let x = Matrix::random(n, 32, 1.0, 93);
+    let want = hg.conv_reference(&x);
+
+    let mut fused = HeteroEngine::new(gpu_sim::DeviceConfig::v100());
+    let (out_f, p_f) = fused.conv_fused(&hg, &x);
+    let mut unfused = HeteroEngine::new(gpu_sim::DeviceConfig::v100());
+    let (out_u, p_u) = unfused.conv_per_relation(&hg, &x);
+
+    assert!(out_f.max_abs_diff(&want) < 1e-3);
+    assert!(out_u.max_abs_diff(&want) < 1e-3);
+    println!("\nboth implementations match the serial reference\n");
+    println!(
+        "fused (1 launch):        {:.3} ms | traffic {:>6.1} MB",
+        p_f.runtime_ms,
+        p_f.total_traffic_bytes() as f64 / 1e6
+    );
+    println!(
+        "per-relation ({} launches): {:.3} ms | traffic {:>6.1} MB",
+        p_u.kernel_launches,
+        p_u.runtime_ms,
+        p_u.total_traffic_bytes() as f64 / 1e6
+    );
+    println!(
+        "\nkernel fusion speedup on the heterograph: {:.1}x — Observation III\nextends beyond homogeneous GNNs, as the paper conjectured.",
+        p_u.runtime_ms / p_f.runtime_ms
+    );
+}

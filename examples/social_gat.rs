@@ -1,0 +1,59 @@
+//! Graph attention on a power-law "social network": the paper's hardest
+//! model (GAT) on its hardest graph shape, comparing the fused one-kernel
+//! TLPGNN implementation against the DGL-style 18-kernel pipeline and the
+//! hand-written three-kernel version — same math, verified identical
+//! outputs, very different cost.
+//!
+//! ```text
+//! cargo run --release --example social_gat
+//! ```
+
+use gpu_sim::DeviceConfig;
+use tlpgnn::{GatParams, GnnModel, TlpgnnEngine};
+use tlpgnn_baselines::{DglSystem, ThreeKernelGatSystem};
+use tlpgnn_graph::generators;
+use tlpgnn_tensor::Matrix;
+
+fn main() {
+    // Reddit-like shape at laptop scale: heavy-tailed degrees.
+    let graph = generators::rmat_default(30_000, 600_000, 1337);
+    let feats = Matrix::random(graph.num_vertices(), 32, 1.0, 2);
+    let params = GatParams::random(32, 3);
+    let model = GnnModel::Gat {
+        params: params.clone(),
+    };
+    println!("social graph: {}", tlpgnn_graph::GraphStats::of(&graph));
+
+    let mut fused = TlpgnnEngine::v100();
+    let (out_fused, p_fused) = fused.conv(&model, &graph, &feats);
+
+    let mut three = ThreeKernelGatSystem::new(DeviceConfig::v100());
+    let (out_three, p_three) = three.run(&params, &graph, &feats);
+
+    let mut dgl = DglSystem::new(DeviceConfig::v100());
+    let (out_dgl, p_dgl) = dgl.run(&model, &graph, &feats);
+
+    // All three compute the same attention-weighted aggregation.
+    assert!(out_fused.max_abs_diff(&out_three) < 1e-3);
+    assert!(out_fused.max_abs_diff(&out_dgl) < 1e-3);
+    println!("all three implementations agree (max diff < 1e-3)\n");
+
+    for (name, p) in [
+        ("DGL (18 kernels)", &p_dgl),
+        ("three-kernel", &p_three),
+        ("TLPGNN fused (1 kernel)", &p_fused),
+    ] {
+        println!(
+            "{name:>24}: gpu {:>8.3} ms | runtime {:>8.3} ms | traffic {:>7.1} MB | peak mem {:>6.1} MB",
+            p.gpu_time_ms,
+            p.runtime_ms,
+            p.total_traffic_bytes() as f64 / 1e6,
+            p.peak_mem_bytes as f64 / 1e6,
+        );
+    }
+    println!(
+        "\nfused speedup: {:.1}x over DGL, {:.1}x over three-kernel (paper Table 3: 7.5x / 4.6x)",
+        p_dgl.runtime_ms / p_fused.runtime_ms,
+        p_three.runtime_ms / p_fused.runtime_ms
+    );
+}

@@ -1,0 +1,82 @@
+//! Semi-supervised node classification, end to end: *train* a two-layer
+//! GCN with manual backprop — the backward pass is itself a TLPGNN-style
+//! graph convolution over the reverse graph (see `tlpgnn::train`).
+//!
+//! A Cora-shaped citation network with planted communities, 5% labeled
+//! vertices, SGD on masked cross-entropy; test accuracy is reported on
+//! the unlabeled rest.
+//!
+//! ```text
+//! cargo run --release --example train_gcn
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tlpgnn::train::GcnClassifier;
+use tlpgnn_graph::GraphBuilder;
+use tlpgnn_tensor::Matrix;
+
+const CLASSES: usize = 7;
+const N: usize = 2_700;
+const FEAT: usize = 32;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2708);
+    let labels: Vec<usize> = (0..N).map(|_| rng.random_range(0..CLASSES)).collect();
+
+    // Citation graph: 90% of citations stay within a community.
+    let mut b = GraphBuilder::new(N);
+    let mut added = 0;
+    while added < 11_000 {
+        let u = rng.random_range(0..N);
+        let mut v = rng.random_range(0..N);
+        if rng.random::<f32>() < 0.9 {
+            let mut tries = 0;
+            while labels[v] != labels[u] && tries < 64 {
+                v = rng.random_range(0..N);
+                tries += 1;
+            }
+        }
+        if u != v {
+            b.add_undirected(u as u32, v as u32);
+            added += 1;
+        }
+    }
+    let graph = b.build();
+    println!("graph: {}", tlpgnn_graph::GraphStats::of(&graph));
+
+    // Noisy bag-of-words-ish features with a faint class signal.
+    let mut x = Matrix::random(N, FEAT, 1.0, 9);
+    for (v, &l) in labels.iter().enumerate() {
+        x.row_mut(v)[l] += 0.75;
+    }
+
+    // 5% train split.
+    let train_mask: Vec<bool> = (0..N).map(|_| rng.random::<f32>() < 0.05).collect();
+    let test_mask: Vec<bool> = train_mask.iter().map(|&m| !m).collect();
+    println!(
+        "labeled: {} vertices ({:.1}%)",
+        train_mask.iter().filter(|&&m| m).count(),
+        train_mask.iter().filter(|&&m| m).count() as f64 / N as f64 * 100.0
+    );
+
+    let mut clf = GcnClassifier::new(graph, FEAT, 16, CLASSES, 10);
+    println!(
+        "before training: test accuracy {:.1}% (chance ≈ {:.1}%)",
+        clf.accuracy(&x, &labels, &test_mask) * 100.0,
+        100.0 / CLASSES as f64
+    );
+    for round in 0..6 {
+        let stats = clf.fit(&x, &labels, &train_mask, 25, 0.4);
+        let last = stats.last().unwrap();
+        println!(
+            "epoch {:>3}: train loss {:.3} | train acc {:.1}% | test acc {:.1}%",
+            (round + 1) * 25,
+            last.loss,
+            last.train_accuracy * 100.0,
+            clf.accuracy(&x, &labels, &test_mask) * 100.0
+        );
+    }
+    println!("\nevery forward and backward graph convolution above ran through the");
+    println!("same atomic-free two-level engine the paper benchmarks for inference.");
+}

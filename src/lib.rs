@@ -1,0 +1,9 @@
+//! # tlpgnn-suite — workspace-level examples and integration tests
+//!
+//! The root package hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). See the individual crates
+//! for the library APIs: `tlpgnn` (the paper's contribution), `gpu-sim`
+//! (the simulated device), `tlpgnn-graph`, `tlpgnn-tensor`, and
+//! `tlpgnn-baselines`.
+
+#![warn(missing_docs)]

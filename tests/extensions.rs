@@ -1,0 +1,148 @@
+//! Integration tests for the future-work extensions: training, multi-GPU,
+//! heterogeneous graphs, multi-head GAT, and the autotuner — everything
+//! cross-checked against serial references.
+
+#![allow(clippy::needless_range_loop)]
+
+use gpu_sim::DeviceConfig;
+use tlpgnn::hetero::{HeteroEngine, HeteroGraph};
+use tlpgnn::kernels::gat::MultiHeadGatParams;
+use tlpgnn::multi_gpu::MultiGpuEngine;
+use tlpgnn::train::{GcnClassifier, GcnConvPair};
+use tlpgnn::{GnnModel, TlpgnnEngine};
+use tlpgnn_graph::{datasets, generators};
+use tlpgnn_tensor::Matrix;
+
+#[test]
+fn multi_gpu_agrees_with_single_engine_on_registry_data() {
+    let g = datasets::by_abbr("PD").unwrap().synthesize(8);
+    let x = Matrix::random(g.num_vertices(), 32, 1.0, 301);
+    let mut single = TlpgnnEngine::new(DeviceConfig::test_small(), Default::default());
+    let (want, _) = single.conv(&GnnModel::Gcn, &g, &x);
+    let multi = MultiGpuEngine::new(DeviceConfig::test_small());
+    for d in [2usize, 3, 5] {
+        let (got, prof) = multi.conv(&GnnModel::Gcn, &g, &x, d);
+        assert!(got.max_abs_diff(&want) < 1e-3, "{d} devices");
+        assert_eq!(prof.gpu_ms.len(), d);
+    }
+}
+
+#[test]
+fn multi_gpu_comm_shrinks_with_fewer_parts() {
+    let g = generators::rmat_default(2000, 30_000, 302);
+    let x = Matrix::random(2000, 32, 1.0, 303);
+    let e = MultiGpuEngine::new(DeviceConfig::test_small());
+    let (_, p2) = e.conv(&GnnModel::Gin { eps: 0.0 }, &g, &x, 2);
+    let (_, p8) = e.conv(&GnnModel::Gin { eps: 0.0 }, &g, &x, 8);
+    assert!(p2.total_comm_bytes < p8.total_comm_bytes);
+    assert!(p2.cut_edges < p8.cut_edges);
+}
+
+#[test]
+fn hetero_engine_on_registry_shapes() {
+    // Build a heterograph out of two registry-shaped relations.
+    let n = 3000;
+    let mut hg = HeteroGraph::new(n);
+    hg.add_relation("social", generators::rmat_default(n, 20_000, 304));
+    hg.add_relation("geo", generators::watts_strogatz(n, 4, 0.05, 305));
+    let x = Matrix::random(n, 32, 1.0, 306);
+    let want = hg.conv_reference(&x);
+    let mut e = HeteroEngine::new(DeviceConfig::test_small());
+    let (fused, p_f) = e.conv_fused(&hg, &x);
+    let (unfused, p_u) = e.conv_per_relation(&hg, &x);
+    assert!(fused.max_abs_diff(&want) < 1e-3);
+    assert!(unfused.max_abs_diff(&want) < 1e-3);
+    assert!(p_f.kernel_launches < p_u.kernel_launches);
+}
+
+#[test]
+fn multihead_gat_heads_are_independent() {
+    // Concatenated multi-head output equals running each head alone.
+    let g = generators::rmat_default(120, 900, 307);
+    let x = Matrix::random(120, 16, 1.0, 308);
+    let params = MultiHeadGatParams::random(16, 3, 309);
+    let all = params.conv_reference(&g, &x);
+    for (h, head) in params.heads.iter().enumerate() {
+        let alone = tlpgnn::oracle::conv_reference(
+            &GnnModel::Gat {
+                params: head.clone(),
+            },
+            &g,
+            &x,
+        );
+        for v in 0..120 {
+            let slice = &all.row(v)[h * 16..(h + 1) * 16];
+            for (a, b) in slice.iter().zip(alone.row(v)) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+}
+
+#[test]
+fn training_gradient_flows_through_simulated_conv_shapes() {
+    // The conv pair's transpose must be the adjoint on a registry graph.
+    let g = datasets::by_abbr("CR").unwrap().synthesize(4);
+    let n = g.num_vertices();
+    let pair = GcnConvPair::new(g);
+    let x = Matrix::random(n, 8, 1.0, 310);
+    let y = Matrix::random(n, 8, 1.0, 311);
+    let lhs: f64 = pair
+        .conv(&x)
+        .data()
+        .iter()
+        .zip(y.data())
+        .map(|(a, b)| (*a as f64) * (*b as f64))
+        .sum();
+    let rhs: f64 = x
+        .data()
+        .iter()
+        .zip(pair.conv_transpose(&y).data())
+        .map(|(a, b)| (*a as f64) * (*b as f64))
+        .sum();
+    assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0));
+}
+
+#[test]
+fn classifier_beats_chance_quickly() {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(312);
+    let n = 200;
+    let classes = 4;
+    let labels: Vec<usize> = (0..n).map(|v| v % classes).collect();
+    let mut b = tlpgnn_graph::GraphBuilder::new(n);
+    for _ in 0..1500 {
+        let u = rng.random_range(0..n);
+        let mut v = rng.random_range(0..n);
+        let mut tries = 0;
+        while (labels[v] != labels[u] || v == u) && tries < 40 {
+            v = rng.random_range(0..n);
+            tries += 1;
+        }
+        if u != v {
+            b.add_undirected(u as u32, v as u32);
+        }
+    }
+    let mut x = Matrix::random(n, 8, 0.5, 313);
+    for v in 0..n {
+        x.row_mut(v)[labels[v] % 8] += 0.8;
+    }
+    let mask = vec![true; n];
+    let mut clf = GcnClassifier::new(b.build(), 8, 8, classes, 314);
+    clf.fit(&x, &labels, &mask, 40, 0.5);
+    assert!(clf.accuracy(&x, &labels, &mask) > 0.7);
+}
+
+#[test]
+fn autotuner_best_never_loses_to_defaults() {
+    let g = datasets::by_abbr("PI").unwrap().synthesize(16);
+    let x = Matrix::random(g.num_vertices(), 32, 1.0, 315);
+    let mut e = TlpgnnEngine::new(DeviceConfig::test_small(), Default::default());
+    let report = tlpgnn::tune::autotune(&mut e, &GnnModel::Gcn, &g, &x);
+    let best = report.points[report.best].gpu_ms;
+    // Default hardware(8) and software(8) are both in the sweep, so the
+    // tuned best is at least as good as either default.
+    for p in &report.points {
+        assert!(best <= p.gpu_ms + 1e-12);
+    }
+}

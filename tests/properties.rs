@@ -1,0 +1,130 @@
+//! Property-based tests (proptest) over random graphs and features:
+//! algebraic invariants every conv implementation must satisfy.
+
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use tlpgnn::oracle::conv_reference;
+use tlpgnn::{GnnModel, NativeEngine, TlpgnnEngine};
+use tlpgnn_graph::{Csr, GraphBuilder};
+use tlpgnn_tensor::{ops, Matrix};
+
+/// Strategy: a random directed graph with up to `max_n` vertices.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            b.extend(edges);
+            b.build()
+        })
+    })
+}
+
+fn arb_features(g: &Csr, f: usize, seed: u64) -> Matrix {
+    Matrix::random(g.num_vertices(), f, 1.0, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fused simulated kernel equals the serial oracle on arbitrary
+    /// graphs, for every model.
+    #[test]
+    fn fused_kernel_matches_oracle(g in arb_graph(120, 600), seed in 0u64..1000) {
+        let x = arb_features(&g, 32, seed);
+        let mut e = TlpgnnEngine::new(gpu_sim::DeviceConfig::test_small(), Default::default());
+        for model in GnnModel::all_four(32) {
+            let want = conv_reference(&model, &g, &x);
+            let (got, _) = e.conv(&model, &g, &x);
+            prop_assert!(got.max_abs_diff(&want) < 5e-3, "{}", model.name());
+        }
+    }
+
+    /// GIN convolution is linear in the features:
+    /// conv(a·x + b·y) = a·conv(x) + b·conv(y).
+    #[test]
+    fn gin_conv_is_linear(g in arb_graph(100, 500), seed in 0u64..1000) {
+        let model = GnnModel::Gin { eps: 0.3 };
+        let x = arb_features(&g, 16, seed);
+        let y = arb_features(&g, 16, seed ^ 0xdead);
+        let (a, b) = (0.5f32, -1.25f32);
+        let combo = ops::axpy(&ops::axpy(&Matrix::zeros(x.rows(), x.cols()), a, &x), b, &y);
+        let lhs = conv_reference(&model, &g, &combo);
+        let rhs = ops::axpy(
+            &ops::axpy(&Matrix::zeros(x.rows(), x.cols()), a, &conv_reference(&model, &g, &x)),
+            b,
+            &conv_reference(&model, &g, &y),
+        );
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    /// Convolution commutes with vertex relabelling:
+    /// conv(permute(g), permute(x)) = permute(conv(g, x)).
+    #[test]
+    fn conv_is_permutation_equivariant(g in arb_graph(80, 400), seed in 0u64..1000) {
+        let n = g.num_vertices();
+        let x = arb_features(&g, 8, seed);
+        // A deterministic permutation derived from the seed.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let k = (seed as usize % (n - 1)) + 1;
+        perm.rotate_left(k);
+        let pg = g.permute(&perm);
+        let mut px = Matrix::zeros(n, 8);
+        for v in 0..n {
+            px.row_mut(perm[v] as usize).copy_from_slice(x.row(v));
+        }
+        for model in [GnnModel::Gcn, GnnModel::Gin { eps: 0.0 }, GnnModel::Sage] {
+            let direct = conv_reference(&model, &pg, &px);
+            let base = conv_reference(&model, &g, &x);
+            let mut expect = Matrix::zeros(n, 8);
+            for v in 0..n {
+                expect.row_mut(perm[v] as usize).copy_from_slice(base.row(v));
+            }
+            prop_assert!(direct.max_abs_diff(&expect) < 1e-3, "{}", model.name());
+        }
+    }
+
+    /// GAT outputs are convex combinations of neighbor features: each
+    /// output coordinate lies within the min/max of in-neighbor values.
+    #[test]
+    fn gat_output_within_neighbor_hull(g in arb_graph(80, 400), seed in 0u64..1000) {
+        let x = arb_features(&g, 8, seed);
+        let params = tlpgnn::GatParams::random(8, seed);
+        let out = conv_reference(&GnnModel::Gat { params }, &g, &x);
+        for v in 0..g.num_vertices() {
+            let nbrs = g.neighbors(v);
+            if nbrs.is_empty() {
+                continue;
+            }
+            for c in 0..8 {
+                let lo = nbrs.iter().map(|&u| x.get(u as usize, c)).fold(f32::INFINITY, f32::min);
+                let hi = nbrs.iter().map(|&u| x.get(u as usize, c)).fold(f32::NEG_INFINITY, f32::max);
+                let o = out.get(v, c);
+                prop_assert!(o >= lo - 1e-4 && o <= hi + 1e-4, "v={v} c={c}: {o} not in [{lo}, {hi}]");
+            }
+        }
+    }
+
+    /// The native task-pool engine equals the native static engine
+    /// bitwise (both are atomic-free with fixed per-row order).
+    #[test]
+    fn native_schedules_bitwise_equal(g in arb_graph(100, 500), seed in 0u64..1000) {
+        let x = arb_features(&g, 16, seed);
+        let pool = NativeEngine::default();
+        let stat = NativeEngine { schedule: tlpgnn::NativeSchedule::Static, threads: 0 };
+        for model in GnnModel::all_four(16) {
+            prop_assert_eq!(pool.conv(&model, &g, &x), stat.conv(&model, &g, &x));
+        }
+    }
+
+    /// Degree-count invariant: GIN(ε = −1) of constant-1 features yields
+    /// exactly the in-degree in every coordinate.
+    #[test]
+    fn gin_counts_degrees(g in arb_graph(100, 500)) {
+        let x = Matrix::full(g.num_vertices(), 4, 1.0);
+        let out = conv_reference(&GnnModel::Gin { eps: -1.0 }, &g, &x);
+        for v in 0..g.num_vertices() {
+            prop_assert!((out.get(v, 0) - g.degree(v) as f32).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Invariants of the simulated device's profiles, checked across real GNN
+//! kernels (not toy kernels): metric ranges, traffic accounting, and the
+//! qualitative orderings the cost model must preserve for the paper's
+//! conclusions to be meaningful.
+
+use gpu_sim::{DeviceConfig, KernelProfile};
+use tlpgnn::{Assignment, GnnModel, TlpgnnEngine};
+use tlpgnn_baselines::{EdgeCentricSystem, GnnSystem, PushSystem, TlpgnnSystem};
+use tlpgnn_graph::generators;
+use tlpgnn_tensor::Matrix;
+
+fn profile_sanity(name: &str, util: f64, occ: f64, spr: f64) {
+    assert!((0.0..=1.0).contains(&util), "{name}: util {util}");
+    assert!((0.0..=1.0).contains(&occ), "{name}: occupancy {occ}");
+    assert!((0.0..=32.01).contains(&spr), "{name}: sectors/request {spr}");
+}
+
+#[test]
+fn op_profiles_have_sane_metric_ranges() {
+    let g = generators::rmat_default(400, 4000, 301);
+    let x = Matrix::random(400, 32, 1.0, 302);
+    let cfg = DeviceConfig::test_small();
+    let mut systems: Vec<Box<dyn GnnSystem>> = vec![
+        Box::new(TlpgnnSystem::new(cfg.clone())),
+        Box::new(tlpgnn_baselines::DglSystem::new(cfg.clone())),
+        Box::new(tlpgnn_baselines::FeatGraphSystem::new(cfg.clone())),
+        Box::new(PushSystem::new(cfg.clone())),
+        Box::new(EdgeCentricSystem::new(cfg)),
+    ];
+    for sys in &mut systems {
+        for model in GnnModel::all_four(32) {
+            let Some(r) = sys.run(&model, &g, &x) else {
+                continue;
+            };
+            let p = r.profile;
+            profile_sanity(
+                sys.name(),
+                p.sm_utilization,
+                p.achieved_occupancy,
+                p.sectors_per_request,
+            );
+            assert!(p.gpu_time_ms > 0.0);
+            assert!(p.runtime_ms >= p.gpu_time_ms);
+            assert!(p.kernel_launches >= 1);
+        }
+    }
+}
+
+#[test]
+fn kernel_profile_traffic_accounting() {
+    // load_bytes must be >= dram_load_bytes (L2 hits are counted in both
+    // loads-below-L1 but not DRAM).
+    let g = generators::rmat_default(500, 5000, 303);
+    let x = Matrix::random(500, 32, 1.0, 304);
+    let mut dev = gpu_sim::Device::new(DeviceConfig::test_small());
+    let gd = tlpgnn::GraphOnDevice::upload(&mut dev, &g, &x);
+    let k = tlpgnn::kernels::fused::FusedConvKernel::new(
+        gd,
+        tlpgnn::Aggregator::GcnSum,
+        tlpgnn::WorkSource::Hardware,
+        true,
+    );
+    let p: KernelProfile =
+        dev.launch(&k, gpu_sim::LaunchConfig::warp_per_item(gd.n, 256));
+    assert!(p.load_bytes >= p.dram_load_bytes);
+    assert!(p.mem_requests > 0);
+    assert_eq!(p.atomic_requests, 0);
+    assert!(p.l1_hit_rate >= 0.0 && p.l1_hit_rate <= 1.0);
+    // All warps that had work ran.
+    assert!(p.warps_run as usize >= gd.n);
+}
+
+#[test]
+fn atomic_systems_pay_more_stall_than_pull() {
+    // Observation I, as a regression gate on the cost model.
+    let g = generators::rmat_default(600, 9000, 305);
+    let x = Matrix::random(600, 32, 1.0, 306);
+    let cfg = DeviceConfig::v100();
+    let (_, p_push) = PushSystem::new(cfg.clone()).run(tlpgnn::Aggregator::GinSum { eps: 0.0 }, &g, &x);
+    let (_, p_edge) =
+        EdgeCentricSystem::new(cfg.clone()).run(tlpgnn::Aggregator::GinSum { eps: 0.0 }, &g, &x);
+    let mut e = TlpgnnEngine::new(cfg, Default::default());
+    let (_, p_pull) = e.conv(&GnnModel::Gin { eps: 0.0 }, &g, &x);
+    assert!(p_push.gpu_time_ms > p_pull.gpu_time_ms);
+    assert!(p_edge.gpu_time_ms > p_pull.gpu_time_ms);
+    assert_eq!(p_pull.atomic_bytes, 0);
+    assert!(p_push.atomic_bytes > 0 && p_edge.atomic_bytes > 0);
+}
+
+#[test]
+fn software_assignment_pays_cursor_atomics_only() {
+    let g = generators::rmat_default(500, 4000, 307);
+    let x = Matrix::random(500, 32, 1.0, 308);
+    let mut e = TlpgnnEngine::new(DeviceConfig::test_small(), Default::default());
+    let (_, p_sw) = e.conv_with(&GnnModel::Gcn, &g, &x, Assignment::software(), true);
+    // Atomic traffic exists (the cursor) but is tiny compared to an
+    // atomic-per-edge system: at most one sector per cursor pull.
+    let pulls = (g.num_vertices() / 8 + 2) as u64;
+    assert!(p_sw.atomic_bytes > 0);
+    assert!(p_sw.atomic_bytes <= pulls * 32 * 4);
+}
+
+#[test]
+fn feature_size_scales_traffic_roughly_linearly() {
+    let g = generators::rmat_default(400, 6000, 309);
+    let mut e = TlpgnnEngine::new(DeviceConfig::v100(), Default::default());
+    let x32 = Matrix::random(400, 32, 1.0, 310);
+    let x128 = Matrix::random(400, 128, 1.0, 311);
+    let (_, p32) = e.conv(&GnnModel::Gin { eps: 0.0 }, &g, &x32);
+    let (_, p128) = e.conv(&GnnModel::Gin { eps: 0.0 }, &g, &x128);
+    let ratio = p128.gpu_time_ms / p32.gpu_time_ms;
+    assert!(
+        ratio > 2.0 && ratio < 8.0,
+        "4x features should cost ~2-8x time, got {ratio}"
+    );
+}
+
+#[test]
+fn larger_graphs_take_longer() {
+    let mut e = TlpgnnEngine::new(DeviceConfig::v100(), Default::default());
+    let small = generators::rmat_default(1000, 8000, 312);
+    let large = generators::rmat_default(8000, 64_000, 312);
+    let xs = Matrix::random(1000, 32, 1.0, 313);
+    let xl = Matrix::random(8000, 32, 1.0, 313);
+    let (_, ps) = e.conv(&GnnModel::Gcn, &small, &xs);
+    let (_, pl) = e.conv(&GnnModel::Gcn, &large, &xl);
+    assert!(pl.gpu_time_ms > 3.0 * ps.gpu_time_ms);
+}
