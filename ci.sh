@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI entry point: build, test, format, lint — then the repro gate.
+# Fails fast on the first broken step.
+set -e
+cd "$(dirname "$0")"
+
+echo "=== cargo build --release ==="
+cargo build --release --workspace
+
+echo "=== cargo test ==="
+cargo test -q --workspace
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all -- --check
+
+echo "=== cargo clippy ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== repro gate ==="
+# Writes results/repro_gate.json (PASS/FAIL per claim) and exits non-zero
+# on any failure. TLPGNN_SCALE keeps it fast on small CI machines.
+./target/release/repro_gate
+
+echo "ci: all green"

@@ -63,6 +63,7 @@ impl GnnSystem for TlpgnnSystem {
         true
     }
     fn run(&mut self, model: &GnnModel, g: &Csr, x: &Matrix) -> Option<RunResult> {
+        let _span = telemetry::span!("system.run", system = "TLPGNN", model = model.name());
         let (output, profile) = self.engine.conv(model, g, x);
         Some(RunResult { output, profile })
     }
@@ -76,6 +77,7 @@ impl GnnSystem for DglSystem {
         true
     }
     fn run(&mut self, model: &GnnModel, g: &Csr, x: &Matrix) -> Option<RunResult> {
+        let _span = telemetry::span!("system.run", system = "DGL", model = model.name());
         let (output, profile) = DglSystem::run(self, model, g, x);
         Some(RunResult { output, profile })
     }
@@ -89,6 +91,7 @@ impl GnnSystem for FeatGraphSystem {
         true
     }
     fn run(&mut self, model: &GnnModel, g: &Csr, x: &Matrix) -> Option<RunResult> {
+        let _span = telemetry::span!("system.run", system = "FeatGraph", model = model.name());
         let (output, profile) = FeatGraphSystem::run(self, model, g, x);
         Some(RunResult { output, profile })
     }
@@ -102,6 +105,7 @@ impl GnnSystem for AdvisorSystem {
         AdvisorSystem::supports(model)
     }
     fn run(&mut self, model: &GnnModel, g: &Csr, x: &Matrix) -> Option<RunResult> {
+        let _span = telemetry::span!("system.run", system = "GNNAdvisor", model = model.name());
         let agg = match model {
             GnnModel::Gcn => tlpgnn::Aggregator::GcnSum,
             GnnModel::Gin { eps } => tlpgnn::Aggregator::GinSum { eps: *eps },
@@ -120,6 +124,7 @@ impl GnnSystem for PushSystem {
         PushSystem::aggregator(model).is_some()
     }
     fn run(&mut self, model: &GnnModel, g: &Csr, x: &Matrix) -> Option<RunResult> {
+        let _span = telemetry::span!("system.run", system = "Push", model = model.name());
         let agg = PushSystem::aggregator(model)?;
         let (output, profile) = PushSystem::run(self, agg, g, x);
         Some(RunResult { output, profile })
@@ -134,6 +139,7 @@ impl GnnSystem for EdgeCentricSystem {
         EdgeCentricSystem::aggregator(model).is_some()
     }
     fn run(&mut self, model: &GnnModel, g: &Csr, x: &Matrix) -> Option<RunResult> {
+        let _span = telemetry::span!("system.run", system = "Edge-centric", model = model.name());
         let agg = EdgeCentricSystem::aggregator(model)?;
         let (output, profile) = EdgeCentricSystem::run(self, agg, g, x);
         Some(RunResult { output, profile })

@@ -15,6 +15,7 @@ const FEAT: usize = 32;
 const GROUP_SIZES: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("ablation_advisor");
     bench::print_header("Ablation: GNNAdvisor neighbor-group size (GCN)");
     for abbr in ["PI", "OA", "OH"] {
         let spec = datasets::by_abbr(abbr).unwrap();

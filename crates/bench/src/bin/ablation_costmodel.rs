@@ -90,6 +90,7 @@ fn run_checks(cfg: DeviceConfig) -> Vec<Check> {
 }
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("ablation_costmodel");
     bench::print_header("Ablation: cost-model sensitivity of the headline orderings");
     let base = DeviceConfig::v100();
     let mut variants: Vec<(String, DeviceConfig)> = vec![("baseline".into(), base.clone())];

@@ -24,6 +24,7 @@ fn scaled(cfg: DeviceConfig, spec: &tlpgnn_graph::DatasetSpec) -> DeviceConfig {
 }
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("ablation_device");
     bench::print_header("Ablation: V100-class vs A100-class device");
     for (dev_name, base) in [("V100", DeviceConfig::v100()), ("A100", DeviceConfig::a100())] {
         let mut t = bench::Table::new(

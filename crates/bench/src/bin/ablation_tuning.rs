@@ -14,6 +14,7 @@ use tlpgnn_graph::datasets::DATASETS;
 const FEAT: usize = 32;
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("ablation_tuning");
     bench::print_header("Ablation: hardware wpb × software step tuning grid (GCN)");
     let mut headers: Vec<String> = vec!["Dataset".into()];
     for &w in WPB_CANDIDATES {

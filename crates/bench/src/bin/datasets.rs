@@ -5,6 +5,7 @@ use tlpgnn_bench as bench;
 use tlpgnn_graph::{datasets::DATASETS, GraphStats};
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("datasets");
     bench::print_header("Table 4: graph benchmarks (paper vs synthesized)");
     let mut t = bench::Table::new(
         "Table 4 (reproduced): datasets sorted by edge count",

@@ -21,6 +21,7 @@ fn build(n: usize, seed: u64) -> HeteroGraph {
 }
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("ext_hetero");
     bench::print_header("Extension: heterogeneous R-GCN-style convolution");
     let mut t = bench::Table::new(
         "Fused multi-relation kernel vs per-relation launches",

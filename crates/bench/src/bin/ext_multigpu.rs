@@ -15,6 +15,7 @@ const FEAT: usize = 32;
 const DEVICES: &[usize] = &[1, 2, 4, 8];
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("ext_multigpu");
     bench::print_header("Extension: multi-GPU strong scaling (GCN, feature 32)");
     let mut headers: Vec<String> = vec!["Dataset".into()];
     for &d in DEVICES {

@@ -41,6 +41,7 @@ fn sum_family(model: &GnnModel) -> Option<Aggregator> {
 }
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("fig10");
     bench::print_header("Figure 10: technique benefits (speedup over edge-centric baseline)");
     for model in GnnModel::all_four(FEAT) {
         let is_gat = matches!(model, GnnModel::Gat { .. });

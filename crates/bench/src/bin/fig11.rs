@@ -21,6 +21,7 @@ fn scale_for(spec: &tlpgnn_graph::DatasetSpec) -> usize {
 }
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("fig11");
     bench::print_header("Figure 11: scalability vs thread count (512 threads/block)");
     for model in GnnModel::all_four(FEAT) {
         let mut headers: Vec<String> = vec!["Dataset".into()];

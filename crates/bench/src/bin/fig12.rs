@@ -14,6 +14,7 @@ use tlpgnn_graph::datasets;
 const SIZES: &[usize] = &[16, 32, 64, 128, 256, 512];
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("fig12");
     bench::print_header("Figure 12: scalability vs feature size (normalized to 16)");
     // GAT's attention vectors depend on the feature dimension, so the
     // model is rebuilt per size inside the loop.

@@ -10,6 +10,7 @@ use tlpgnn_bench as bench;
 use tlpgnn_graph::datasets;
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("fig8");
     bench::print_header("Figure 8: GNNAdvisor atomic-write traffic (GCN & GIN)");
     let mut t = bench::Table::new(
         "Figure 8 (reproduced): atomic write traffic (MB)",

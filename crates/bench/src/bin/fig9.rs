@@ -11,6 +11,7 @@ use tlpgnn_bench as bench;
 use tlpgnn_graph::datasets::DATASETS;
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("fig9");
     bench::print_header("Figure 9: achieved occupancy, GCN, FeatGraph vs TLPGNN");
     let mut t = bench::Table::new(
         "Figure 9 (reproduced): achieved occupancy (%)",

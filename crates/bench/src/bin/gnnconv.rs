@@ -116,6 +116,7 @@ fn load_graph(a: &Args) -> (String, Csr, DeviceConfig) {
 }
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("gnnconv");
     let a = parse_args();
     let (name, g, cfg) = load_graph(&a);
     let model = match a.model.as_str() {

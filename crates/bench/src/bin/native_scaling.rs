@@ -12,6 +12,7 @@ use tlpgnn_tensor::Matrix;
 const FEAT: usize = 32;
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("native_scaling");
     bench::print_header("Native CPU engine: wall-clock thread scaling (GCN)");
     let cores = std::thread::available_parallelism().map_or(4, |p| p.get());
     let g = generators::rmat_default(100_000, 2_000_000, 7);

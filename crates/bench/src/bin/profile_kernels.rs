@@ -29,6 +29,7 @@ fn show(name: &str, p: &KernelProfile) {
 }
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("profile_kernels");
     let args: Vec<String> = std::env::args().collect();
     let abbr = args.get(1).map(|s| s.as_str()).unwrap_or("OH");
     let feat: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);

@@ -16,18 +16,51 @@ const FEAT: usize = 32;
 /// Extra shrink on top of each dataset's default divisor.
 const GATE_SCALE: usize = 8;
 
+struct CheckResult {
+    name: String,
+    ok: bool,
+    detail: String,
+}
+
 struct Gate {
-    failures: Vec<String>,
-    checks: usize,
+    results: Vec<CheckResult>,
 }
 
 impl Gate {
     fn check(&mut self, name: &str, ok: bool, detail: String) {
-        self.checks += 1;
         println!("{} {name}: {detail}", if ok { "PASS" } else { "FAIL" });
-        if !ok {
-            self.failures.push(format!("{name}: {detail}"));
+        self.results.push(CheckResult {
+            name: name.to_string(),
+            ok,
+            detail,
+        });
+    }
+
+    fn failures(&self) -> impl Iterator<Item = &CheckResult> {
+        self.results.iter().filter(|r| !r.ok)
+    }
+
+    fn passed(&self) -> bool {
+        self.results.iter().all(|r| r.ok)
+    }
+
+    /// Machine-readable summary for CI: overall status plus every check.
+    fn to_json(&self) -> telemetry::json::Value {
+        use telemetry::json::Value;
+        let mut results = Value::array();
+        for r in &self.results {
+            let mut o = Value::object();
+            o.set("name", r.name.as_str());
+            o.set("ok", r.ok);
+            o.set("detail", r.detail.as_str());
+            results.push(o);
         }
+        let mut root = Value::object();
+        root.set("status", if self.passed() { "PASS" } else { "FAIL" });
+        root.set("checks", self.results.len() as u64);
+        root.set("failures", self.failures().count() as u64);
+        root.set("results", results);
+        root
     }
 }
 
@@ -50,9 +83,9 @@ fn engine_for(spec: &tlpgnn_graph::DatasetSpec) -> TlpgnnEngine {
 }
 
 fn main() {
+    let telemetry_scope = tlpgnn_bench::telemetry_scope("repro_gate");
     let mut gate = Gate {
-        failures: Vec::new(),
-        checks: 0,
+        results: Vec::new(),
     };
     println!("repro gate (scale 1/{GATE_SCALE} of the default registry scales)\n");
 
@@ -280,13 +313,24 @@ fn main() {
 
     println!(
         "\n{} checks, {} failures",
-        gate.checks,
-        gate.failures.len()
+        gate.results.len(),
+        gate.failures().count()
     );
-    if !gate.failures.is_empty() {
-        for f in &gate.failures {
-            eprintln!("FAILED: {f}");
-        }
+    let dir = std::env::var("TLPGNN_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let path = std::path::Path::new(&dir).join("repro_gate.json");
+    let write = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&path, gate.to_json().to_string()));
+    match write {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    let failed = !gate.passed();
+    for f in gate.failures() {
+        eprintln!("FAILED: {}: {}", f.name, f.detail);
+    }
+    // process::exit skips Drop, so flush the telemetry exports first.
+    drop(telemetry_scope);
+    if failed {
         std::process::exit(1);
     }
 }

@@ -12,6 +12,7 @@ use tlpgnn_baselines::{AdvisorSystem, EdgeCentricSystem, PushSystem};
 use tlpgnn_bench as bench;
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("table1");
     bench::print_header("Table 1: atomic-operation profiling (GCN, OH, feature 128)");
     let spec = tlpgnn_graph::datasets::by_abbr("OH").unwrap();
     let g = bench::load(spec);

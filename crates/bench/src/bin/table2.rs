@@ -11,6 +11,7 @@ use tlpgnn::Aggregator;
 use tlpgnn_bench as bench;
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("table2");
     bench::print_header("Table 2: coalescing study (one thread vs half warp, feature 128)");
     let spec = tlpgnn_graph::datasets::by_abbr("OH").unwrap();
     let g = bench::load(spec);

@@ -11,6 +11,7 @@ use tlpgnn_baselines::{DglSystem, ThreeKernelGatSystem};
 use tlpgnn_bench as bench;
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("table3");
     bench::print_header("Table 3: kernel launches study (GAT, RD, feature 32)");
     let spec = tlpgnn_graph::datasets::by_abbr("RD").unwrap();
     let g = bench::load(spec);

@@ -18,6 +18,7 @@ const FEAT: usize = 32;
 const ADVISOR_SKIP: &[&str] = &["CL", "ON", "RD", "OT"];
 
 fn main() {
+    let _telemetry = tlpgnn_bench::telemetry_scope("table5");
     bench::print_header("Table 5: main comparison, feature 32");
     
     let mut summary: Vec<(String, f64)> = Vec::new();

@@ -1,0 +1,87 @@
+//! **telemetry-diff** — compare two `*.metrics.json` snapshots and fail
+//! on drift.
+//!
+//! ```text
+//! telemetry-diff <old.metrics.json> <new.metrics.json> [--threshold 0.10]
+//! ```
+//!
+//! Watched values are every counter, every gauge, and each histogram's
+//! `mean` and `p50`. Any watched metric whose relative change exceeds the
+//! threshold (default 10%) is printed and makes the tool exit non-zero —
+//! improvements too, since either direction means the stored baseline no
+//! longer describes the code. Metrics present in only one snapshot are
+//! reported but do not fail the run.
+
+use telemetry::{diff, MetricsSnapshot};
+
+fn usage() -> ! {
+    eprintln!("usage: telemetry-diff <old.metrics.json> <new.metrics.json> [--threshold 0.10]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> MetricsSnapshot {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("telemetry-diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    MetricsSnapshot::from_json_str(&text).unwrap_or_else(|e| {
+        eprintln!("telemetry-diff: {path} is not a metrics snapshot: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold = 0.10f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" | "-t" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            p => paths.push(p),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let old = load(paths[0]);
+    let new = load(paths[1]);
+    let report = diff::diff(&old, &new, threshold);
+
+    println!(
+        "compared {} watched metrics at threshold {:.1}%",
+        report.deltas.len(),
+        threshold * 100.0
+    );
+    for m in &report.missing {
+        println!("  only in one snapshot: {m}");
+    }
+    let regressions = report.regressions();
+    for d in &regressions {
+        println!(
+            "  CHANGED {}: {:.6} -> {:.6} ({:+.1}%)",
+            d.metric,
+            d.old,
+            d.new,
+            d.rel_change * 100.0
+        );
+    }
+    if regressions.is_empty() {
+        println!("OK: no watched metric moved more than {:.1}%", threshold * 100.0);
+    } else {
+        println!(
+            "FAIL: {} metric(s) moved more than {:.1}%",
+            regressions.len(),
+            threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+}

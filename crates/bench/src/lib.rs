@@ -9,6 +9,10 @@
 //!   default (e.g. `TLPGNN_SCALE=4` quarters every graph). Use for quick
 //!   runs on small machines.
 //! * `TLPGNN_QUICK=1` — shorthand for `TLPGNN_SCALE=8`.
+//! * `TLPGNN_TELEMETRY=0` — disable telemetry collection/export (on by
+//!   default in the bench binaries; see [`telemetry_scope`]).
+//! * `TLPGNN_RESULTS_DIR=<dir>` — where telemetry exports land
+//!   (default `results/`).
 
 #![warn(missing_docs)]
 
@@ -121,6 +125,68 @@ impl Table {
         println!("|-{}-|", sep.join("-|-"));
         for row in &self.rows {
             line(row);
+        }
+    }
+}
+
+/// RAII guard that scopes telemetry collection to one experiment run and
+/// exports the results on drop.
+///
+/// Created by [`telemetry_scope`] at the top of every bench binary's
+/// `main`. On creation it resets the global collector and turns
+/// collection on (unless `TLPGNN_TELEMETRY=0`); on drop it turns
+/// collection off and writes three files under the results directory
+/// (`TLPGNN_RESULTS_DIR`, default `results/`):
+///
+/// * `<name>.trace.json` — Chrome `trace_event` timeline; open in
+///   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+/// * `<name>.metrics.json` — counters, gauges, and per-kernel histogram
+///   summaries (p50/p90/p99), diffable with the `telemetry-diff` tool.
+/// * `<name>.events.jsonl` — flat span/kernel event log, one JSON per
+///   line, for ad-hoc scripting.
+pub struct TelemetryScope {
+    name: String,
+    dir: std::path::PathBuf,
+    active: bool,
+}
+
+/// Start a telemetry scope named after the experiment (see
+/// [`TelemetryScope`] for the files it writes on drop).
+pub fn telemetry_scope(name: &str) -> TelemetryScope {
+    let active = !std::env::var("TLPGNN_TELEMETRY").is_ok_and(|v| v == "0");
+    let dir = std::env::var("TLPGNN_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    if active {
+        telemetry::reset();
+        telemetry::set_enabled(true);
+    }
+    TelemetryScope {
+        name: name.to_string(),
+        dir: dir.into(),
+        active,
+    }
+}
+
+impl Drop for TelemetryScope {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        telemetry::set_enabled(false);
+        let c = telemetry::collector();
+        let trace = self.dir.join(format!("{}.trace.json", self.name));
+        let metrics = self.dir.join(format!("{}.metrics.json", self.name));
+        let events = self.dir.join(format!("{}.events.jsonl", self.name));
+        let r = telemetry::export::write_chrome_trace(c, &trace)
+            .and_then(|()| telemetry::export::write_metrics_json(c, &metrics))
+            .and_then(|()| telemetry::export::write_events_jsonl(c, &events));
+        match r {
+            Ok(()) => eprintln!(
+                "telemetry: wrote {}, {}, {}",
+                trace.display(),
+                metrics.display(),
+                events.display()
+            ),
+            Err(e) => eprintln!("telemetry: export failed: {e}"),
         }
     }
 }

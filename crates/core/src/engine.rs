@@ -5,7 +5,7 @@
 //! paper's whole pipeline (two-level parallelism, hybrid workload
 //! balancing, kernel fusion, register caching) behind one `conv` call.
 
-use gpu_sim::{Device, DeviceConfig, OpProfile};
+use gpu_sim::{Device, DeviceConfig, Kernel, OpProfile};
 use tlpgnn_graph::Csr;
 use tlpgnn_tensor::Matrix;
 
@@ -91,6 +91,12 @@ impl TlpgnnEngine {
     /// Run one graph convolution, returning the aggregated features and
     /// the operation profile. All of TLPGNN runs in **one kernel launch**.
     pub fn conv(&mut self, model: &GnnModel, g: &Csr, x: &Matrix) -> (Matrix, OpProfile) {
+        let _span = telemetry::span!(
+            "tlpgnn.conv",
+            model = model.name(),
+            vertices = g.num_vertices(),
+            edges = g.num_edges()
+        );
         if let Some(result) = self.conv_packed(model, g, x) {
             return result;
         }
@@ -117,7 +123,10 @@ impl TlpgnnEngine {
             GnnModel::Sage => Aggregator::SageMean,
             GnnModel::Gat { .. } => return None,
         };
-        let gd = GraphOnDevice::upload(&mut self.device, g, x);
+        let gd = {
+            let _span = telemetry::span!("upload");
+            GraphOnDevice::upload(&mut self.device, g, x)
+        };
         let groups = 32 / f;
         let k = crate::kernels::variants::SubWarpKernel {
             gd,
@@ -126,9 +135,16 @@ impl TlpgnnEngine {
         };
         let lc = gpu_sim::LaunchConfig::warp_per_item(gd.n.div_ceil(groups), 256);
         let mut op = OpProfile::new(format!("tlpgnn_packed_{}", model.name()));
-        op.add(&self.device.launch(&k, lc));
+        let p = {
+            let _span = telemetry::span!("kernel", name = k.name());
+            self.device.launch(&k, lc)
+        };
+        op.add(&p);
         op.add_framework_overhead_ms(self.options.dispatch_ms);
-        let out = gd.read_output(&self.device);
+        let out = {
+            let _span = telemetry::span!("readback");
+            gd.read_output(&self.device)
+        };
         gd.free(&mut self.device);
         Some((out, op))
     }
@@ -143,7 +159,10 @@ impl TlpgnnEngine {
         assignment: Assignment,
         reg_cache: bool,
     ) -> (Matrix, OpProfile) {
-        let gd = GraphOnDevice::upload(&mut self.device, g, x);
+        let gd = {
+            let _span = telemetry::span!("upload");
+            GraphOnDevice::upload(&mut self.device, g, x)
+        };
         let mut op = OpProfile::new(format!("tlpgnn_{}", model.name()));
         let regs = match (model, reg_cache) {
             (GnnModel::Gat { .. }, true) => 56,
@@ -169,6 +188,7 @@ impl TlpgnnEngine {
             GnnModel::Gat { params } => {
                 let scores = GatScoresOnDevice::upload(&mut self.device, x, params);
                 let k = FusedGatKernel::new(gd, scores, work, reg_cache);
+                let _span = telemetry::span!("kernel", name = k.name());
                 let p = self.device.launch(&k, lc);
                 scores.free(&mut self.device);
                 p
@@ -181,13 +201,17 @@ impl TlpgnnEngine {
                     GnnModel::Gat { .. } => unreachable!(),
                 };
                 let k = FusedConvKernel::new(gd, agg, work, reg_cache);
+                let _span = telemetry::span!("kernel", name = k.name());
                 self.device.launch(&k, lc)
             }
         };
         op.add(&profile);
         op.add_framework_overhead_ms(self.options.dispatch_ms);
         op.peak_mem_bytes = self.device.mem().peak_bytes();
-        let out = gd.read_output(&self.device);
+        let out = {
+            let _span = telemetry::span!("readback");
+            gd.read_output(&self.device)
+        };
         if let Some(c) = cursor {
             self.device.mem_mut().free(c);
         }
@@ -206,16 +230,23 @@ impl TlpgnnEngine {
         weights: &[f32],
     ) -> (Matrix, OpProfile) {
         assert_eq!(weights.len(), g.num_edges(), "one weight per edge");
+        let _span = telemetry::span!(
+            "tlpgnn.conv_edge_weighted",
+            vertices = g.num_vertices(),
+            edges = g.num_edges()
+        );
         let n = g.num_vertices();
         let f = x.cols();
         let assignment = self.assignment_for(g);
         let lc = assignment.launch_config(n, self.device.cfg(), 48);
+        let upload_span = telemetry::span!("upload");
         let mem = self.device.mem_mut();
         let indptr = mem.alloc_from(g.indptr());
         let indices = mem.alloc_from(g.indices());
         let values = mem.alloc_from(weights);
         let xb = mem.alloc_from(x.data());
         let out = mem.alloc::<f32>(n * f);
+        drop(upload_span);
         let mut cursor = None;
         let work = match assignment {
             Assignment::Hardware { .. } => WorkSource::Hardware,
@@ -241,9 +272,16 @@ impl TlpgnnEngine {
             reg_cache: self.options.reg_cache,
         };
         let mut op = OpProfile::new("tlpgnn_edge_weighted");
-        op.add(&self.device.launch(&k, lc));
+        let p = {
+            let _span = telemetry::span!("kernel", name = k.name());
+            self.device.launch(&k, lc)
+        };
+        op.add(&p);
         op.add_framework_overhead_ms(self.options.dispatch_ms);
-        let result = Matrix::from_vec(n, f, self.device.mem().read_vec(out));
+        let result = {
+            let _span = telemetry::span!("readback");
+            Matrix::from_vec(n, f, self.device.mem().read_vec(out))
+        };
         let mem = self.device.mem_mut();
         mem.free(indptr);
         mem.free(indices);
@@ -267,6 +305,7 @@ impl TlpgnnEngine {
         g: &Csr,
         x: &Matrix,
     ) -> (Matrix, OpProfile) {
+        let _span = telemetry::span!("tlpgnn.layer_forward", model = layer.model.name());
         let (agg, mut op) = self.conv(&layer.model, g, x);
         let combined = match layer.combine {
             crate::model::Combine::Replace => agg,
@@ -293,6 +332,7 @@ impl TlpgnnEngine {
         g: &Csr,
         x: &Matrix,
     ) -> (Matrix, OpProfile) {
+        let _span = telemetry::span!("tlpgnn.classify_forward", layers = net.layers.len());
         let mut op = OpProfile::new("tlpgnn_network_forward");
         let mut h = x.clone();
         for layer in &net.layers {
@@ -322,7 +362,16 @@ impl TlpgnnEngine {
         grid_blocks: usize,
         block_threads: usize,
     ) -> (Matrix, OpProfile) {
-        let gd = GraphOnDevice::upload(&mut self.device, g, x);
+        let _span = telemetry::span!(
+            "tlpgnn.conv_with_grid",
+            model = model.name(),
+            grid_blocks = grid_blocks,
+            block_threads = block_threads
+        );
+        let gd = {
+            let _span = telemetry::span!("upload");
+            GraphOnDevice::upload(&mut self.device, g, x)
+        };
         let mut op = OpProfile::new(format!("tlpgnn_grid_{}", model.name()));
         let cursor = self.device.mem_mut().alloc::<u32>(1);
         let lc = gpu_sim::LaunchConfig::new(grid_blocks.max(1), block_threads);
@@ -335,6 +384,7 @@ impl TlpgnnEngine {
             GnnModel::Gat { params } => {
                 let scores = GatScoresOnDevice::upload(&mut self.device, x, params);
                 let k = FusedGatKernel::new(gd, scores, work, true);
+                let _span = telemetry::span!("kernel", name = k.name());
                 let p = self.device.launch(&k, lc);
                 scores.free(&mut self.device);
                 p
@@ -347,12 +397,16 @@ impl TlpgnnEngine {
                     GnnModel::Gat { .. } => unreachable!(),
                 };
                 let k = FusedConvKernel::new(gd, agg, work, true);
+                let _span = telemetry::span!("kernel", name = k.name());
                 self.device.launch(&k, lc)
             }
         };
         op.add(&profile);
         op.add_framework_overhead_ms(self.options.dispatch_ms);
-        let out = gd.read_output(&self.device);
+        let out = {
+            let _span = telemetry::span!("readback");
+            gd.read_output(&self.device)
+        };
         self.device.mem_mut().free(cursor);
         gd.free(&mut self.device);
         (out, op)

@@ -169,6 +169,12 @@ impl MultiGpuEngine {
         x: &Matrix,
         devices: usize,
     ) -> (Matrix, MultiGpuProfile) {
+        let _span = telemetry::span!(
+            "multi_gpu.conv",
+            model = model.name(),
+            devices = devices,
+            vertices = g.num_vertices()
+        );
         let n = g.num_vertices();
         let f = x.cols();
         let part = partition::edge_balanced_partition(g, devices);
@@ -186,11 +192,13 @@ impl MultiGpuEngine {
         let mut gpu_ms = Vec::with_capacity(devices);
         let mut halo_bytes = Vec::with_capacity(devices);
 
-        for shard in &shards {
+        for (shard_idx, shard) in shards.iter().enumerate() {
             let n_owned = shard.owned.len();
             let total = n_owned + shard.halo.len();
             // Assemble local features (owned rows, then halo rows) and the
             // global norms/degrees those rows carry.
+            let halo_span =
+                telemetry::span!("halo_assemble", shard = shard_idx, halo_rows = shard.halo.len());
             let mut feats = Matrix::zeros(total.max(1), f);
             let mut norm = vec![0.0f32; total.max(1)];
             let mut deg = vec![0u32; total.max(1)];
@@ -207,6 +215,8 @@ impl MultiGpuEngine {
             }
             let floats_per_row = f + if gat_scores.is_some() { 2 } else { 0 };
             halo_bytes.push((shard.halo.len() * floats_per_row * 4) as u64);
+            drop(halo_span);
+            let conv_span = telemetry::span!("local_conv", shard = shard_idx, owned = n_owned);
 
             // Run the fused kernel on this shard's own device. The local
             // graph's degree/norm arrays must be the GLOBAL ones, so the
@@ -278,7 +288,9 @@ impl MultiGpuEngine {
             };
             gpu_ms.push(p.gpu_time_ms);
             let _ = cursor;
+            drop(conv_span);
 
+            let _gather_span = telemetry::span!("gather", shard = shard_idx);
             let local_out = dev.mem().read_vec(gd.output);
             for (local, global) in shard.owned.clone().enumerate() {
                 out.row_mut(global)

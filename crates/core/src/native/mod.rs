@@ -202,6 +202,11 @@ impl DisjointRows {
 impl NativeEngine {
     /// Run one graph convolution on the host, atomic-free.
     pub fn conv(&self, model: &GnnModel, g: &Csr, x: &Matrix) -> Matrix {
+        let _span = telemetry::span!(
+            "native.conv",
+            model = model.name(),
+            vertices = g.num_vertices()
+        );
         assert_eq!(g.num_vertices(), x.rows(), "graph/feature mismatch");
         let n = g.num_vertices();
         let f = x.cols();

@@ -69,6 +69,7 @@ impl GcnConvPair {
 
     /// Forward convolution: `A_hat x`.
     pub fn conv(&self, x: &Matrix) -> Matrix {
+        let _span = telemetry::span!("train.conv_forward", rows = x.rows());
         self.engine.conv(&GnnModel::Gcn, &self.forward, x)
     }
 
@@ -76,6 +77,7 @@ impl GcnConvPair {
     /// same two-level engine over the reverse graph, with the forward
     /// graph's norms.
     pub fn conv_transpose(&self, g: &Matrix) -> Matrix {
+        let _span = telemetry::span!("train.conv_transpose", rows = g.rows());
         let n = self.reverse.num_vertices();
         let f = g.cols();
         assert_eq!(n, g.rows());
@@ -254,6 +256,7 @@ impl GcnClassifier {
         mask: &[bool],
         lr: f32,
     ) -> EpochStats {
+        let _span = telemetry::span!("train.epoch", optimizer = "sgd");
         let (g, stats) = self.gradients(x, labels, mask);
         for (w, d) in self.w2.data_mut().iter_mut().zip(g.dw2.data()) {
             *w -= lr * d;
@@ -278,6 +281,7 @@ impl GcnClassifier {
         mask: &[bool],
         adam: &mut Adam,
     ) -> EpochStats {
+        let _span = telemetry::span!("train.epoch", optimizer = "adam");
         let (g, stats) = self.gradients(x, labels, mask);
         adam.t += 1;
         let t = adam.t;

@@ -45,8 +45,10 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
+use telemetry::{BlockSlice, KernelSample, SimKernelTimeline, SmTimeline, MAX_BLOCK_EVENTS};
 
 use crate::cache::{SectorCache, SharedCache};
 use crate::config::{DeviceConfig, WARP_SIZE};
@@ -71,12 +73,20 @@ struct WorkerResult {
     blocks: Vec<BlockCost>,
 }
 
+/// Process-wide device id source, so telemetry can tell multiple
+/// simulated devices (multi-GPU runs) apart in one trace.
+static NEXT_DEVICE_ID: AtomicU64 = AtomicU64::new(0);
+
 /// A simulated GPU device.
 pub struct Device {
     cfg: DeviceConfig,
     mem: DeviceMemory,
     l2: SharedCache,
     launches: u64,
+    id: u64,
+    /// Simulated wall clock, µs: launches lay out sequentially on the
+    /// device's timeline for trace export.
+    sim_clock_us: f64,
 }
 
 impl Device {
@@ -88,6 +98,8 @@ impl Device {
             mem: DeviceMemory::new(),
             l2,
             launches: 0,
+            id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
+            sim_clock_us: 0.0,
         }
     }
 
@@ -114,6 +126,17 @@ impl Device {
     /// Kernels launched since creation.
     pub fn launches(&self) -> u64 {
         self.launches
+    }
+
+    /// Process-wide device id (assigned at creation; multi-GPU traces
+    /// use it to separate per-device tracks).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Simulated device clock, µs (advances by each launch's runtime).
+    pub fn sim_clock_us(&self) -> f64 {
+        self.sim_clock_us
     }
 
     /// Drop all cached state in the L2 (e.g. between experiments).
@@ -231,7 +254,7 @@ impl Device {
     }
 
     fn finish_profile(
-        &self,
+        &mut self,
         kernel: &dyn Kernel,
         lc: LaunchConfig,
         warps_per_block: usize,
@@ -240,6 +263,7 @@ impl Device {
     ) -> KernelProfile {
         let cfg = &self.cfg;
         let resident_warps = self.resident_warps(kernel, lc);
+        let trace_blocks = telemetry::enabled();
 
         // Greedy list scheduling of blocks onto SMs: each block (in launch
         // order) goes to the SM with the least accumulated slot time —
@@ -256,6 +280,13 @@ impl Device {
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
             (0..cfg.num_sms).map(|i| Reverse((0u64, i))).collect();
         let mut warps_run = 0u64;
+        // (sm, block, start_cycles, end_cycles) placements, captured from
+        // the schedule only when telemetry collection is on.
+        let mut placements: Vec<(usize, u32, u64, u64)> = if trace_blocks {
+            Vec::with_capacity(blocks.len())
+        } else {
+            Vec::new()
+        };
         for b in &blocks {
             let Reverse((load, sm)) = heap.pop().expect("bins nonempty");
             let bin = &mut bins[sm];
@@ -265,6 +296,9 @@ impl Device {
             bin.max_warp = bin.max_warp.max(b.max_warp);
             bin.blocks += 1;
             warps_run += warps_per_block as u64;
+            if trace_blocks {
+                placements.push((sm, b.idx, load, load + b.slot_cycles));
+            }
             heap.push(Reverse((
                 load + b.slot_cycles + cfg.block_sched_cycles,
                 sm,
@@ -311,7 +345,7 @@ impl Device {
         let load_requests = total.mem_requests.max(1);
         let l1_total = total.l1_hit_sectors + total.below_l1_sectors();
 
-        KernelProfile {
+        let profile = KernelProfile {
             name: kernel.name().to_string(),
             grid_blocks: lc.grid_blocks,
             block_threads: lc.block_threads,
@@ -356,8 +390,81 @@ impl Device {
             insts: total.insts,
             warps_run,
             blocks_run,
+            peak_mem_bytes: self.mem.peak_bytes(),
             limiter,
+        };
+
+        if trace_blocks {
+            self.publish_telemetry(&profile, placements);
         }
+        self.sim_clock_us += profile.runtime_ms * 1e3;
+        profile
+    }
+
+    /// Feed one finished launch into the global telemetry collector:
+    /// scalar metrics plus the per-SM block timeline derived from the
+    /// list schedule. Only called when collection is enabled.
+    fn publish_telemetry(
+        &self,
+        profile: &KernelProfile,
+        placements: Vec<(usize, u32, u64, u64)>,
+    ) {
+        let cfg = &self.cfg;
+        telemetry::record_kernel(KernelSample {
+            name: profile.name.clone(),
+            gpu_time_ms: profile.gpu_time_ms,
+            runtime_ms: profile.runtime_ms,
+            sectors_per_request: profile.sectors_per_request,
+            achieved_occupancy: profile.achieved_occupancy,
+            sm_utilization: profile.sm_utilization,
+            limiter: profile.limiter.name().to_string(),
+        });
+
+        let to_us = |cycles: u64| cfg.cycles_to_ms(cycles as f64) * 1e3;
+        let mut sms: Vec<SmTimeline> = (0..cfg.num_sms)
+            .map(|sm| SmTimeline {
+                sm: sm as u32,
+                blocks: Vec::new(),
+            })
+            .collect();
+        let truncated = placements.len() > MAX_BLOCK_EVENTS;
+        if truncated {
+            // Collapse each SM's schedule to one busy envelope so huge
+            // grids stay loadable in the trace viewer.
+            let mut span: Vec<Option<(u64, u64)>> = vec![None; cfg.num_sms];
+            for (sm, _, start, end) in placements {
+                let s = span[sm].get_or_insert((start, end));
+                s.0 = s.0.min(start);
+                s.1 = s.1.max(end);
+            }
+            for (sm, s) in span.into_iter().enumerate() {
+                if let Some((start, end)) = s {
+                    sms[sm].blocks.push(BlockSlice {
+                        block: u32::MAX,
+                        start_us: to_us(start),
+                        dur_us: to_us(end - start),
+                    });
+                }
+            }
+        } else {
+            for (sm, block, start, end) in placements {
+                sms[sm].blocks.push(BlockSlice {
+                    block,
+                    start_us: to_us(start),
+                    dur_us: to_us(end - start),
+                });
+            }
+        }
+        sms.retain(|t| !t.blocks.is_empty());
+        telemetry::record_sim_timeline(SimKernelTimeline {
+            device: self.id,
+            kernel: profile.name.clone(),
+            launch_seq: self.launches,
+            t0_us: self.sim_clock_us,
+            gpu_time_us: profile.gpu_time_ms * 1e3,
+            sms,
+            truncated,
+        });
     }
 }
 

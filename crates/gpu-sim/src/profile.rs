@@ -64,6 +64,9 @@ pub struct KernelProfile {
     pub warps_run: u64,
     /// Blocks executed.
     pub blocks_run: u64,
+    /// Peak device memory at launch time, bytes (high-water mark of the
+    /// owning device when the launch completed).
+    pub peak_mem_bytes: u64,
     /// Cost-model breakdown at the critical SM (the one that set
     /// `gpu_cycles`): issue-throughput, memory-bandwidth, latency-hiding,
     /// critical-warp, and block-scheduling components. Which of these is
@@ -87,8 +90,11 @@ pub struct LimiterBreakdown {
 }
 
 impl LimiterBreakdown {
-    /// Name of the dominant term.
+    /// Name of the dominant term. NaN-safe: a NaN cost term (e.g. from a
+    /// degenerate 0/0 in a downstream computation) is treated as zero
+    /// rather than poisoning the comparison.
     pub fn name(&self) -> &'static str {
+        let finite = |v: f64| if v.is_nan() { 0.0 } else { v };
         let candidates = [
             (self.issue, "issue"),
             (self.bandwidth, "bandwidth"),
@@ -98,7 +104,7 @@ impl LimiterBreakdown {
         ];
         candidates
             .into_iter()
-            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .max_by(|a, b| finite(a.0).total_cmp(&finite(b.0)))
             .map(|(_, n)| n)
             .unwrap_or("none")
     }
@@ -183,6 +189,12 @@ pub struct OpProfile {
     /// Host-side preprocessing time charged to the op (e.g. GNNAdvisor's
     /// reordering and neighbor-group building), ms.
     pub preprocess_ms: f64,
+    /// Sum of warp instructions issued.
+    pub insts: u64,
+    /// Sum of warps executed.
+    pub warps_run: u64,
+    /// Sum of blocks executed.
+    pub blocks_run: u64,
 }
 
 impl OpProfile {
@@ -213,6 +225,11 @@ impl OpProfile {
         self.load_bytes += p.load_bytes;
         self.store_bytes += p.store_bytes;
         self.atomic_bytes += p.atomic_bytes;
+        self.insts += p.insts;
+        self.warps_run += p.warps_run;
+        self.blocks_run += p.blocks_run;
+        // Peak memory is a high-water mark, not a sum.
+        self.peak_mem_bytes = self.peak_mem_bytes.max(p.peak_mem_bytes);
     }
 
     /// Add host-side framework dispatch overhead (per launch already added).
@@ -281,6 +298,49 @@ mod tests {
         assert_eq!(op.load_bytes, 200);
         // Time-weighted utilization: (0.2*1 + 0.6*3) / 4 = 0.5.
         assert!((op.sm_utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_profile_sums_counts_and_folds_peak_mem() {
+        let mut op = OpProfile::new("gat");
+        let mut a = sample(1.0, 0.2);
+        a.insts = 100;
+        a.warps_run = 8;
+        a.blocks_run = 2;
+        a.peak_mem_bytes = 500;
+        let mut b = sample(2.0, 0.4);
+        b.insts = 300;
+        b.warps_run = 24;
+        b.blocks_run = 6;
+        b.peak_mem_bytes = 200;
+        op.add(&a);
+        op.add(&b);
+        assert_eq!(op.insts, 400);
+        assert_eq!(op.warps_run, 32);
+        assert_eq!(op.blocks_run, 8);
+        // High-water mark, not a sum: max(500, 200).
+        assert_eq!(op.peak_mem_bytes, 500);
+    }
+
+    #[test]
+    fn limiter_name_is_nan_safe() {
+        let b = LimiterBreakdown {
+            issue: f64::NAN,
+            bandwidth: 10.0,
+            latency: 3.0,
+            critical_warp: f64::NAN,
+            scheduling: 1.0,
+        };
+        assert_eq!(b.name(), "bandwidth");
+        // All-NaN degenerates to the last zero candidate, never panics.
+        let all_nan = LimiterBreakdown {
+            issue: f64::NAN,
+            bandwidth: f64::NAN,
+            latency: f64::NAN,
+            critical_warp: f64::NAN,
+            scheduling: f64::NAN,
+        };
+        let _ = all_nan.name();
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Simulator-side telemetry types: per-launch kernel samples and the
+//! per-SM block timelines the Chrome-trace exporter renders.
+//!
+//! `gpu_sim::Device::launch` fills these from its already-computed list
+//! schedule when collection is enabled; this crate only defines the
+//! carrier types so the dependency points the right way (everything
+//! depends on `telemetry`, `telemetry` depends on nothing).
+
+/// Per-launch cap on exported block slices. Launches with more blocks
+/// export one busy-envelope slice per SM instead (marked `truncated`),
+/// keeping traces loadable for million-block grids.
+pub const MAX_BLOCK_EVENTS: usize = 4096;
+
+/// Scalar metrics of one kernel launch, fed into the metrics registry
+/// under `kernel.<name>.*`.
+#[derive(Debug, Clone)]
+pub struct KernelSample {
+    /// Kernel name.
+    pub name: String,
+    /// Modelled GPU time, ms.
+    pub gpu_time_ms: f64,
+    /// End-to-end runtime (GPU + host launch overhead), ms.
+    pub runtime_ms: f64,
+    /// Average sectors per global load request.
+    pub sectors_per_request: f64,
+    /// Achieved occupancy (0..1).
+    pub achieved_occupancy: f64,
+    /// SM utilization (0..1).
+    pub sm_utilization: f64,
+    /// Name of the dominant cost-model term ("bandwidth", "latency", ...).
+    pub limiter: String,
+}
+
+/// One block's residency on an SM, in simulated microseconds relative to
+/// the launch start.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockSlice {
+    /// Block index within the grid (`u32::MAX` for a truncated envelope).
+    pub block: u32,
+    /// Start offset from launch start, µs.
+    pub start_us: f64,
+    /// Duration, µs.
+    pub dur_us: f64,
+}
+
+/// All block slices scheduled onto one SM for one launch.
+#[derive(Debug, Clone)]
+pub struct SmTimeline {
+    /// SM index.
+    pub sm: u32,
+    /// Block slices in schedule order.
+    pub blocks: Vec<BlockSlice>,
+}
+
+/// The list-schedule timeline of one kernel launch across SMs.
+#[derive(Debug, Clone)]
+pub struct SimKernelTimeline {
+    /// Device id (process-wide, assigned at `Device` creation).
+    pub device: u64,
+    /// Kernel name.
+    pub kernel: String,
+    /// Launch sequence number on that device (1-based).
+    pub launch_seq: u64,
+    /// Device sim-clock at launch start, µs (launches lay out
+    /// sequentially on the device's timeline).
+    pub t0_us: f64,
+    /// Modelled kernel GPU time, µs.
+    pub gpu_time_us: f64,
+    /// Per-SM block schedules.
+    pub sms: Vec<SmTimeline>,
+    /// True when per-block slices were collapsed to per-SM envelopes
+    /// because the grid exceeded [`MAX_BLOCK_EVENTS`].
+    pub truncated: bool,
+}
