@@ -1,7 +1,8 @@
-#!/bin/sh
-# CI entry point: build, test, format, lint — then the repro gate.
-# Fails fast on the first broken step.
-set -e
+#!/usr/bin/env bash
+# CI entry point: build, test, format, lint — then the repro gate and the
+# serving smoke test. Fails fast on the first broken step, including
+# failures inside pipelines and any use of an unset variable.
+set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "=== cargo build --release ==="
@@ -20,5 +21,12 @@ echo "=== repro gate ==="
 # Writes results/repro_gate.json (PASS/FAIL per claim) and exits non-zero
 # on any failure. TLPGNN_SCALE keeps it fast on small CI machines.
 ./target/release/repro_gate
+
+echo "=== serve smoke ==="
+# Short serving workload; the binary re-reads results/serve_bench.metrics.json
+# and exits non-zero unless requests completed, nothing was dropped while
+# idle, the cache registered hits, and the overload burst saw rejections.
+mkdir -p results
+./target/release/serve_bench --smoke
 
 echo "ci: all green"

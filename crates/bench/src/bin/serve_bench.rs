@@ -1,0 +1,486 @@
+//! **serve_bench** — closed-loop load generator for the `tlpgnn-serve`
+//! online inference server.
+//!
+//! Runs four phases against one power-law (R-MAT) graph, each phase a
+//! fresh server with its own metrics prefix:
+//!
+//! 1. `batch1`  — micro-batching off (`max_batch = 1`), cache off: the
+//!    one-request-per-forward baseline.
+//! 2. `dynamic` — micro-batching on, cache off: isolates the batching
+//!    win. Throughput here vs `batch1` is the batching speedup.
+//! 3. `cached`  — batching + LRU feature cache under Zipfian popularity:
+//!    measures steady-state hit rate.
+//! 4. `overload` — burst far past the bounded queue's capacity: shows
+//!    explicit `Overloaded` rejections, with every *accepted* request
+//!    still served.
+//!
+//! Phases 1–3 are closed loops: `--clients` threads each issue
+//! `--requests` requests back to back (submit, wait, repeat), targets
+//! drawn from a Zipf(`--zipf`) popularity distribution. Telemetry lands
+//! in `results/serve_bench.{metrics.json,trace.json,events.jsonl}`; the
+//! binary re-reads `metrics.json` afterwards and fails (exit 1) if the
+//! serving invariants don't hold — see `check()` at the bottom.
+//!
+//! Flags (defaults in brackets): `--vertices` [20000], `--edges`
+//! [100000], `--feat` [16], `--hidden` [16], `--classes` [8],
+//! `--workers` [2], `--max-batch` [16], `--max-wait-ms` [2], `--cache`
+//! [4096], `--zipf` [1.3], `--clients` [32], `--requests` [75],
+//! `--hops` [1], `--seed` [42], `--smoke` (small graph + short run +
+//! relaxed thresholds, for CI).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tlpgnn::{GnnModel, GnnNetwork};
+use tlpgnn_bench as bench;
+use tlpgnn_graph::{generators, Csr};
+use tlpgnn_serve::{GnnServer, Request, ServeConfig, ServeError, ZipfSampler};
+use tlpgnn_tensor::Matrix;
+
+#[derive(Debug, Clone)]
+struct Args {
+    vertices: usize,
+    edges: usize,
+    feat: usize,
+    hidden: usize,
+    classes: usize,
+    workers: usize,
+    max_batch: usize,
+    max_wait_ms: u64,
+    cache: usize,
+    zipf: f64,
+    clients: usize,
+    requests: usize,
+    hops: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            vertices: 20_000,
+            edges: 100_000,
+            feat: 16,
+            hidden: 16,
+            classes: 8,
+            workers: 2,
+            // max_batch deliberately below the client count: with more
+            // in-flight requests than one batch admits, consecutive
+            // batches land on different workers and the dynamic phase
+            // keeps every engine busy (a closed loop with
+            // clients <= max_batch degenerates to one worker).
+            max_batch: 16,
+            max_wait_ms: 2,
+            cache: 4096,
+            zipf: 1.3,
+            clients: 32,
+            requests: 75,
+            hops: 1,
+            seed: 42,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--smoke" {
+            a.smoke = true;
+            continue;
+        }
+        let v = it
+            .next()
+            .unwrap_or_else(|| panic!("flag {flag} needs a value"));
+        match flag.as_str() {
+            "--vertices" => a.vertices = v.parse().expect("--vertices"),
+            "--edges" => a.edges = v.parse().expect("--edges"),
+            "--feat" => a.feat = v.parse().expect("--feat"),
+            "--hidden" => a.hidden = v.parse().expect("--hidden"),
+            "--classes" => a.classes = v.parse().expect("--classes"),
+            "--workers" => a.workers = v.parse().expect("--workers"),
+            "--max-batch" => a.max_batch = v.parse().expect("--max-batch"),
+            "--max-wait-ms" => a.max_wait_ms = v.parse().expect("--max-wait-ms"),
+            "--cache" => a.cache = v.parse().expect("--cache"),
+            "--zipf" => a.zipf = v.parse().expect("--zipf"),
+            "--clients" => a.clients = v.parse().expect("--clients"),
+            "--requests" => a.requests = v.parse().expect("--requests"),
+            "--hops" => a.hops = v.parse().expect("--hops"),
+            "--seed" => a.seed = v.parse().expect("--seed"),
+            other => panic!("unknown flag {other} (see serve_bench source for the flag list)"),
+        }
+    }
+    if a.smoke {
+        // Small enough for a CI smoke step, big enough to batch and to
+        // repeat hot vertices.
+        a.vertices = a.vertices.min(2_000);
+        a.edges = a.edges.min(10_000);
+        a.clients = a.clients.min(4);
+        a.requests = a.requests.min(40);
+    }
+    a
+}
+
+struct PhaseOutcome {
+    name: &'static str,
+    offered: u64,
+    completed: u64,
+    rejected: u64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_batch: f64,
+    cache_hit_rate: f64,
+}
+
+/// Run one closed-loop phase: `clients` threads, each `requests`
+/// submit-then-wait round trips with Zipf-drawn single-vertex targets.
+fn closed_loop(
+    name: &'static str,
+    args: &Args,
+    cfg: ServeConfig,
+    g: &Csr,
+    x: &Matrix,
+    net: &GnnNetwork,
+) -> PhaseOutcome {
+    let server = Arc::new(GnnServer::start(cfg, g.clone(), x.clone(), net.clone()));
+    let t0 = Instant::now();
+    let mut clients = Vec::new();
+    for c in 0..args.clients {
+        let server = Arc::clone(&server);
+        let n = args.vertices;
+        let (zipf, hops, requests) = (args.zipf, args.hops, args.requests);
+        let seed = args.seed ^ (0xc11e | (c as u64) << 32);
+        clients.push(std::thread::spawn(move || {
+            let mut sampler = ZipfSampler::new(n, zipf, seed);
+            let mut latencies = telemetry::Histogram::default();
+            let mut rejected = 0u64;
+            for _ in 0..requests {
+                let target = sampler.sample();
+                let t = Instant::now();
+                match server.submit(Request::with_hops(vec![target], hops)) {
+                    Ok(handle) => {
+                        handle.wait().expect("accepted request must be served");
+                        latencies.observe(t.elapsed().as_secs_f64() * 1e3);
+                    }
+                    Err(ServeError::Overloaded) => rejected += 1,
+                    Err(e) => panic!("unexpected serve error: {e}"),
+                }
+            }
+            (latencies, rejected)
+        }));
+    }
+    let mut latencies = telemetry::Histogram::default();
+    let mut client_rejected = 0u64;
+    for c in clients {
+        let (h, r) = c.join().expect("client thread");
+        for &v in h.samples() {
+            latencies.observe(v);
+        }
+        client_rejected += r;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let server = Arc::try_unwrap(server).ok().expect("clients dropped");
+    let stats = server.shutdown();
+    let offered = (args.clients * args.requests) as u64;
+    assert_eq!(stats.completed + client_rejected, offered);
+    let throughput = stats.completed as f64 / elapsed.max(1e-9);
+    telemetry::gauge_set(&format!("serve_bench.{name}.throughput_rps"), throughput);
+    telemetry::gauge_set(&format!("serve_bench.{name}.offered"), offered as f64);
+    PhaseOutcome {
+        name,
+        offered,
+        completed: stats.completed,
+        rejected: stats.rejected,
+        throughput_rps: throughput,
+        p50_ms: latencies.percentile(50.0),
+        p99_ms: latencies.percentile(99.0),
+        mean_batch: stats.completed as f64 / (stats.batches.max(1)) as f64,
+        cache_hit_rate: stats.cache_hit_rate(),
+    }
+}
+
+/// Burst far past queue capacity from one thread, then drain. Requests
+/// use the exact receptive field (expensive extraction) so the single
+/// worker saturates immediately.
+fn overload_phase(args: &Args, g: &Csr, x: &Matrix, net: &GnnNetwork) -> PhaseOutcome {
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        max_wait: Duration::from_millis(0),
+        queue_capacity: 4,
+        cache_capacity: 0,
+        metrics_prefix: "serve.overload".to_string(),
+        ..ServeConfig::default()
+    };
+    let server = GnnServer::start(cfg, g.clone(), x.clone(), net.clone());
+    let mut sampler = ZipfSampler::new(args.vertices, args.zipf, args.seed ^ 0x0e1);
+    let offered = ((args.clients * args.requests) as u64).min(200);
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..offered {
+        // No `hops` override: full receptive field, the slow path.
+        match server.submit(Request::new(vec![sampler.sample()])) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::Overloaded) => {}
+            Err(e) => panic!("unexpected serve error: {e}"),
+        }
+    }
+    for h in handles {
+        let resp = h.wait().expect("accepted request must be served");
+        assert_eq!(resp.outputs.rows(), 1);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    assert_eq!(stats.completed + stats.rejected, offered);
+    let throughput = stats.completed as f64 / elapsed.max(1e-9);
+    telemetry::gauge_set("serve_bench.overload.throughput_rps", throughput);
+    telemetry::gauge_set("serve_bench.overload.offered", offered as f64);
+    PhaseOutcome {
+        name: "overload",
+        offered,
+        completed: stats.completed,
+        rejected: stats.rejected,
+        throughput_rps: throughput,
+        p50_ms: f64::NAN,
+        p99_ms: f64::NAN,
+        mean_batch: stats.completed as f64 / (stats.batches.max(1)) as f64,
+        cache_hit_rate: 0.0,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scope = bench::telemetry_scope("serve_bench");
+    bench::print_header("serve_bench: online GNN inference serving under load");
+    println!(
+        "graph: rmat {}v/{}e | net: {}->{}->{} GCN | {} clients x {} reqs | zipf {} | hops {} | {}",
+        args.vertices,
+        args.edges,
+        args.feat,
+        args.hidden,
+        args.classes,
+        args.clients,
+        args.requests,
+        args.zipf,
+        args.hops,
+        if args.smoke { "smoke" } else { "full" },
+    );
+
+    let g = generators::rmat_default(args.vertices, args.edges, args.seed);
+    let x = Matrix::random(args.vertices, args.feat, 1.0, args.seed ^ 0xfea7);
+    let net = GnnNetwork::two_layer(
+        |_| GnnModel::Gcn,
+        args.feat,
+        args.hidden,
+        args.classes,
+        args.seed ^ 0x9e7,
+    );
+
+    let base = ServeConfig {
+        workers: args.workers,
+        max_wait: Duration::from_millis(args.max_wait_ms),
+        queue_capacity: (args.clients * 2).max(64),
+        ..ServeConfig::default()
+    };
+    let phases = vec![
+        closed_loop(
+            "batch1",
+            &args,
+            ServeConfig {
+                max_batch: 1,
+                cache_capacity: 0,
+                metrics_prefix: "serve.batch1".to_string(),
+                ..base.clone()
+            },
+            &g,
+            &x,
+            &net,
+        ),
+        closed_loop(
+            "dynamic",
+            &args,
+            ServeConfig {
+                max_batch: args.max_batch,
+                cache_capacity: 0,
+                metrics_prefix: "serve.dynamic".to_string(),
+                ..base.clone()
+            },
+            &g,
+            &x,
+            &net,
+        ),
+        closed_loop(
+            "cached",
+            &args,
+            ServeConfig {
+                max_batch: args.max_batch,
+                cache_capacity: args.cache,
+                metrics_prefix: "serve.cached".to_string(),
+                ..base.clone()
+            },
+            &g,
+            &x,
+            &net,
+        ),
+        overload_phase(&args, &g, &x, &net),
+    ];
+
+    let speedup = phases[1].throughput_rps / phases[0].throughput_rps.max(1e-9);
+    telemetry::gauge_set("serve_bench.batching_speedup", speedup);
+
+    let mut t = bench::Table::new(
+        "serve_bench: phase summary",
+        &[
+            "Phase", "Offered", "Done", "Rejected", "rps", "p50 ms", "p99 ms", "batch", "hit%",
+        ],
+    );
+    for p in &phases {
+        t.row(vec![
+            p.name.to_string(),
+            p.offered.to_string(),
+            p.completed.to_string(),
+            p.rejected.to_string(),
+            format!("{:.0}", p.throughput_rps),
+            if p.p50_ms.is_nan() {
+                "-".into()
+            } else {
+                bench::fmt_ms(p.p50_ms)
+            },
+            if p.p99_ms.is_nan() {
+                "-".into()
+            } else {
+                bench::fmt_ms(p.p99_ms)
+            },
+            format!("{:.1}", p.mean_batch),
+            format!("{:.0}", p.cache_hit_rate * 100.0),
+        ]);
+    }
+    t.print();
+    println!("\nbatching speedup (dynamic vs batch1): {speedup:.2}x");
+
+    let telemetry_active = !std::env::var("TLPGNN_TELEMETRY").is_ok_and(|v| v == "0");
+    drop(scope); // export results/serve_bench.* now so check() can read them back
+
+    let mut failures = check(&phases, speedup, args.smoke, telemetry_active);
+    failures.extend(check_metrics_file(args.smoke, telemetry_active));
+    if failures.is_empty() {
+        println!("serve_bench: all serving invariants hold");
+    } else {
+        for f in &failures {
+            eprintln!("serve_bench: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The serving invariants this benchmark exists to demonstrate.
+fn check(
+    phases: &[PhaseOutcome],
+    speedup: f64,
+    smoke: bool,
+    telemetry_active: bool,
+) -> Vec<String> {
+    let mut fails = Vec::new();
+    let by_name = |n: &str| phases.iter().find(|p| p.name == n).unwrap();
+    for name in ["batch1", "dynamic", "cached"] {
+        let p = by_name(name);
+        if p.completed == 0 {
+            fails.push(format!("{name}: no requests completed"));
+        }
+        if p.rejected != 0 {
+            fails.push(format!(
+                "{name}: {} requests dropped while the server was not saturated",
+                p.rejected
+            ));
+        }
+        if p.completed != p.offered {
+            fails.push(format!(
+                "{name}: completed {} != offered {}",
+                p.completed, p.offered
+            ));
+        }
+    }
+    let cached = by_name("cached");
+    let min_hit = if smoke { 0.0 } else { 0.5 };
+    if cached.cache_hit_rate <= min_hit {
+        fails.push(format!(
+            "cached: hit rate {:.1}% not above {:.0}%",
+            cached.cache_hit_rate * 100.0,
+            min_hit * 100.0
+        ));
+    }
+    let overload = by_name("overload");
+    if overload.rejected == 0 {
+        fails.push("overload: burst past queue capacity saw no Overloaded rejection".into());
+    }
+    if overload.completed == 0 {
+        fails.push("overload: accepted requests were not served".into());
+    }
+    if !smoke && speedup < 2.0 {
+        fails.push(format!(
+            "dynamic batching speedup {speedup:.2}x below the 2x bar"
+        ));
+    }
+    let _ = telemetry_active;
+    fails
+}
+
+/// Re-read the exported metrics.json and cross-check the headline
+/// numbers from the file a CI step would consume.
+fn check_metrics_file(smoke: bool, telemetry_active: bool) -> Vec<String> {
+    if !telemetry_active {
+        return Vec::new(); // nothing was exported
+    }
+    let dir = std::env::var("TLPGNN_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let path = std::path::Path::new(&dir).join("serve_bench.metrics.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("cannot read {}: {e}", path.display())],
+    };
+    let snap = match telemetry::MetricsSnapshot::from_json_str(&text) {
+        Ok(s) => s,
+        Err(e) => return vec![format!("cannot parse {}: {e}", path.display())],
+    };
+    let mut fails = Vec::new();
+    for phase in ["batch1", "dynamic", "cached"] {
+        let key = format!("serve.{phase}.completed");
+        if snap.counters.get(&key).copied().unwrap_or(0) == 0 {
+            fails.push(format!("metrics.json: counter {key} missing or zero"));
+        }
+        let key = format!("serve.{phase}.rejected");
+        if snap.counters.get(&key).copied().unwrap_or(0) != 0 {
+            fails.push(format!("metrics.json: counter {key} nonzero on idle phase"));
+        }
+    }
+    let hit_rate = snap
+        .gauges
+        .get("serve.cached.cache.hit_rate")
+        .copied()
+        .unwrap_or(0.0);
+    let min_hit = if smoke { 0.0 } else { 0.5 };
+    if hit_rate <= min_hit {
+        fails.push(format!(
+            "metrics.json: serve.cached.cache.hit_rate {hit_rate:.3} not above {min_hit}"
+        ));
+    }
+    if snap
+        .counters
+        .get("serve.overload.rejected")
+        .copied()
+        .unwrap_or(0)
+        == 0
+    {
+        fails.push("metrics.json: serve.overload.rejected is zero".into());
+    }
+    if snap
+        .histograms
+        .get("serve.dynamic.e2e_latency_ms")
+        .is_none_or(|h| h.count == 0)
+    {
+        fails.push("metrics.json: serve.dynamic.e2e_latency_ms histogram empty".into());
+    }
+    fails
+}

@@ -167,6 +167,29 @@ impl GnnNetwork {
         }
     }
 
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Output dimension of the final layer (class count).
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.linear.out_dim())
+    }
+
+    /// Ego-graph extraction depth needed for *exact* target outputs when
+    /// serving this network on an induced k-hop subgraph (see
+    /// `tlpgnn_graph::subgraph`): one hop per layer, plus one extra hop
+    /// when any layer is GCN — its symmetric normalization reads
+    /// *source-vertex* degrees, so sources one hop past the receptive
+    /// field must keep complete in-neighbor rows (hence true degrees) in
+    /// the extraction. GIN/Sage/GAT read only destination-side structure
+    /// and need no slack.
+    pub fn receptive_hops(&self) -> usize {
+        let gcn = self.layers.iter().any(|l| matches!(l.model, GnnModel::Gcn));
+        self.layers.len() + usize::from(gcn)
+    }
+
     /// Full forward pass; returns per-vertex class log-probabilities.
     pub fn forward_with(
         &self,
@@ -226,6 +249,18 @@ mod tests {
             let s: f32 = y.row(r).iter().map(|v| v.exp()).sum();
             assert!((s - 1.0).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn receptive_hops_per_model() {
+        let gcn = GnnNetwork::two_layer(|_| GnnModel::Gcn, 8, 8, 4, 1);
+        assert_eq!(gcn.depth(), 2);
+        assert_eq!(gcn.out_dim(), 4);
+        assert_eq!(gcn.receptive_hops(), 3, "GCN needs one hop of slack");
+        let sage = GnnNetwork::two_layer(|_| GnnModel::Sage, 8, 8, 4, 2);
+        assert_eq!(sage.receptive_hops(), 2);
+        let gin = GnnNetwork::two_layer(|_| GnnModel::Gin { eps: 0.1 }, 8, 8, 4, 3);
+        assert_eq!(gin.receptive_hops(), 2);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! CSR graph storage in the exact layout the paper's kernels consume,
 //! deterministic synthetic generators, the Table 4 dataset registry, and
 //! the preprocessing utilities (reordering, neighbor grouping, vertex
-//! partitioning) the compared systems rely on.
+//! partitioning, k-hop ego-graph extraction for online serving) the
+//! compared systems and the serving layer rely on.
 //!
 //! ```
 //! use tlpgnn_graph::{datasets, GraphStats};
@@ -29,9 +30,11 @@ pub mod io;
 pub mod partition;
 pub mod reorder;
 pub mod stats;
+pub mod subgraph;
 
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use datasets::{DatasetSpec, DATASETS};
 pub use partition::{NeighborGroup, VertexPartition};
 pub use stats::GraphStats;
+pub use subgraph::EgoGraph;

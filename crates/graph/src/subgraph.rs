@@ -1,0 +1,270 @@
+//! k-hop ego-graph extraction for online inference serving.
+//!
+//! An inference request names a handful of target vertices; computing
+//! their outputs does not need the full graph, only the targets'
+//! receptive field. [`ego_graph`] collects every vertex within `hops`
+//! in-edge hops of the targets (multi-source BFS over the pull CSR),
+//! relabels them densely, and builds the induced CSR — the small graph a
+//! serving batch actually runs `conv`/`layer_forward` on.
+//!
+//! **Exactness.** Rows of the induced CSR are complete for every vertex
+//! at hop distance `< hops` (all its in-neighbors are inside the
+//! extraction), so an `L`-layer model whose convolution reads only
+//! destination-side structure (GIN, Sage-mean, GAT) is exact at the
+//! targets with `hops = L`. GCN's symmetric normalization additionally
+//! reads *source-vertex* degrees, which are truncated on the frontier, so
+//! GCN needs `hops = L + 1` (see `GnnNetwork::receptive_hops` in the
+//! `tlpgnn` crate).
+
+use crate::csr::Csr;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// A relabelled k-hop ego graph around a set of target vertices.
+///
+/// Local ids are assigned in BFS discovery order: the (deduplicated)
+/// targets occupy locals `0..num_targets` in the order given, followed by
+/// hop-1 vertices, then hop-2, and so on.
+#[derive(Debug, Clone)]
+pub struct EgoGraph {
+    /// The induced subgraph over the extracted vertices, in local ids.
+    pub csr: Csr,
+    /// `vertices[local]` is the original id of local vertex `local`.
+    pub vertices: Vec<u32>,
+    /// `hop[local]` is the BFS distance from the nearest target.
+    pub hop: Vec<u8>,
+    /// The first `num_targets` locals are the deduplicated targets.
+    pub num_targets: usize,
+}
+
+impl EgoGraph {
+    /// Original ids of the target vertices (locals `0..num_targets`).
+    pub fn targets(&self) -> &[u32] {
+        &self.vertices[..self.num_targets]
+    }
+
+    /// The extraction depth this ego graph was built with.
+    pub fn hops(&self) -> usize {
+        self.hop.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Whether local vertex `v` has its complete in-neighbor row (true
+    /// for every vertex strictly inside the extraction radius; frontier
+    /// rows may be truncated).
+    pub fn row_is_complete(&self, v: usize, hops: usize) -> bool {
+        (self.hop[v] as usize) < hops
+    }
+}
+
+/// Extract the `hops`-hop ego graph of `targets` from `g`.
+///
+/// Multi-source BFS over the pull CSR (each step follows in-edges, i.e.
+/// expands the receptive field by one GNN layer), then an induced-CSR
+/// build with dense relabelling. Duplicate targets are deduplicated;
+/// order of first occurrence is preserved. `hops = 0` keeps only the
+/// targets and any edges among them.
+///
+/// # Panics
+/// Panics if a target id is out of range for `g`.
+pub fn ego_graph(g: &Csr, targets: &[u32], hops: usize) -> EgoGraph {
+    let n = g.num_vertices();
+    let mut local: HashMap<u32, u32> = HashMap::with_capacity(targets.len() * 4);
+    let mut vertices: Vec<u32> = Vec::with_capacity(targets.len() * 4);
+    let mut hop: Vec<u8> = Vec::with_capacity(targets.len() * 4);
+    for &t in targets {
+        assert!((t as usize) < n, "target {t} out of range (n = {n})");
+        if let Entry::Vacant(e) = local.entry(t) {
+            e.insert(vertices.len() as u32);
+            vertices.push(t);
+            hop.push(0);
+        }
+    }
+    let num_targets = vertices.len();
+    // Level-synchronous expansion: vertices[frontier..] is the previous
+    // level; anything first seen from it belongs to the next level (all
+    // targets start at level 0, so discovery depth is the min distance).
+    let mut frontier = 0;
+    for depth in 1..=hops.min(u8::MAX as usize) {
+        let level_end = vertices.len();
+        for i in frontier..level_end {
+            for &u in g.neighbors(vertices[i] as usize) {
+                if let Entry::Vacant(e) = local.entry(u) {
+                    e.insert(vertices.len() as u32);
+                    vertices.push(u);
+                    hop.push(depth as u8);
+                }
+            }
+        }
+        if vertices.len() == level_end {
+            break; // closed under in-edges already
+        }
+        frontier = level_end;
+    }
+    // Induced CSR: keep each extracted vertex's in-edges whose source was
+    // also extracted, relabelled to local ids. Rows stay sorted.
+    let mut indptr = Vec::with_capacity(vertices.len() + 1);
+    indptr.push(0u32);
+    let mut indices = Vec::new();
+    for &orig in &vertices {
+        let start = indices.len();
+        for &u in g.neighbors(orig as usize) {
+            if let Some(&l) = local.get(&u) {
+                indices.push(l);
+            }
+        }
+        indices[start..].sort_unstable();
+        indptr.push(indices.len() as u32);
+    }
+    EgoGraph {
+        csr: Csr::new(vertices.len(), indptr, indices),
+        vertices,
+        hop,
+        num_targets,
+    }
+}
+
+/// `(vertex, hop)` assignment produced by [`ego_reference`].
+pub type RefHops = Vec<(u32, usize)>;
+/// `(dst, src)` induced edge list (original ids) from [`ego_reference`].
+pub type RefEdges = Vec<(u32, u32)>;
+
+/// Naive reference extraction: per-vertex distances by repeated
+/// relaxation, induced edges by `has_edge` probes. Quadratic — used to
+/// cross-check [`ego_graph`] in tests.
+pub fn ego_reference(g: &Csr, targets: &[u32], hops: usize) -> (RefHops, RefEdges) {
+    let n = g.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    for &t in targets {
+        dist[t as usize] = 0;
+    }
+    // Bellman-Ford-style relaxation over in-edges, `hops` rounds.
+    for _ in 0..hops {
+        let snapshot = dist.clone();
+        for v in 0..n {
+            if snapshot[v] == usize::MAX {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                dist[u as usize] = dist[u as usize].min(snapshot[v] + 1);
+            }
+        }
+    }
+    let members: Vec<(u32, usize)> = (0..n as u32)
+        .filter(|&v| dist[v as usize] <= hops)
+        .map(|v| (v, dist[v as usize]))
+        .collect();
+    let mut edges = Vec::new();
+    for &(src, _) in &members {
+        for &(dst, _) in &members {
+            if g.has_edge(src, dst) {
+                edges.push((src, dst));
+            }
+        }
+    }
+    (members, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn check_against_reference(g: &Csr, targets: &[u32], hops: usize) {
+        let ego = ego_graph(g, targets, hops);
+        let (want_members, want_edges) = ego_reference(g, targets, hops);
+        // Same vertex set, each exactly once, with the same distances.
+        let mut got: Vec<(u32, usize)> = ego
+            .vertices
+            .iter()
+            .zip(&ego.hop)
+            .map(|(&v, &h)| (v, h as usize))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, want_members, "vertex set / distances differ");
+        // Same induced edge set, in original ids.
+        let mut got_edges: Vec<(u32, u32)> = ego
+            .csr
+            .edge_iter()
+            .map(|(s, d)| (ego.vertices[s as usize], ego.vertices[d as usize]))
+            .collect();
+        got_edges.sort_unstable();
+        let mut want_edges = want_edges;
+        want_edges.sort_unstable();
+        assert_eq!(got_edges, want_edges, "induced edge set differs");
+    }
+
+    #[test]
+    fn matches_reference_on_generator_graphs() {
+        let g = generators::rmat_default(300, 2400, 11);
+        check_against_reference(&g, &[0, 17, 255], 2);
+        check_against_reference(&g, &[42], 3);
+        check_against_reference(&g, &[1, 1, 1], 1); // duplicate targets
+        let ws = generators::watts_strogatz(200, 4, 0.1, 5);
+        check_against_reference(&ws, &[0, 100], 2);
+    }
+
+    #[test]
+    fn inner_vertices_preserve_degrees() {
+        let g = generators::rmat_default(500, 5000, 13);
+        let hops = 2;
+        let ego = ego_graph(&g, &[3, 77, 200], hops);
+        for v in 0..ego.csr.num_vertices() {
+            if ego.row_is_complete(v, hops) {
+                assert_eq!(
+                    ego.csr.degree(v),
+                    g.degree(ego.vertices[v] as usize),
+                    "inner vertex {v} (orig {}) lost in-edges",
+                    ego.vertices[v]
+                );
+            } else {
+                assert!(ego.csr.degree(v) <= g.degree(ego.vertices[v] as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn targets_keep_submission_order() {
+        let g = generators::ring_lattice(50, 3);
+        let ego = ego_graph(&g, &[9, 4, 9, 30], 1);
+        assert_eq!(ego.targets(), &[9, 4, 30]);
+        assert_eq!(ego.num_targets, 3);
+        assert_eq!(&ego.hop[..3], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn zero_hops_keeps_only_targets() {
+        // Ring lattice 0 -> 1 -> 2 ... : in(v) = {v-1, v-2}.
+        let g = generators::ring_lattice(10, 2);
+        let ego = ego_graph(&g, &[3, 4], 0);
+        assert_eq!(ego.csr.num_vertices(), 2);
+        // Edge 3 -> 4 survives (3 is an in-neighbor of 4), nothing else.
+        assert_eq!(ego.csr.num_edges(), 1);
+        assert!(ego.csr.has_edge(0, 1)); // local 0 = vertex 3, local 1 = 4
+    }
+
+    #[test]
+    fn saturates_to_whole_component() {
+        let g = generators::complete(20);
+        let ego = ego_graph(&g, &[0], 1);
+        assert_eq!(ego.csr.num_vertices(), 20);
+        assert_eq!(ego.csr.num_edges(), g.num_edges());
+        // Extra hops add nothing once closed.
+        let ego5 = ego_graph(&g, &[0], 5);
+        assert_eq!(ego5.csr.num_vertices(), 20);
+    }
+
+    #[test]
+    fn empty_targets_give_empty_graph() {
+        let g = generators::path(5);
+        let ego = ego_graph(&g, &[], 3);
+        assert_eq!(ego.csr.num_vertices(), 0);
+        assert_eq!(ego.num_targets, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_panics() {
+        let g = generators::path(5);
+        let _ = ego_graph(&g, &[99], 1);
+    }
+}

@@ -1,12 +1,11 @@
 //! Property-based tests of the graph substrate.
 
 use proptest::prelude::*;
-use tlpgnn_graph::{generators, io, partition, reorder, Csr, GraphBuilder, GraphStats};
+use tlpgnn_graph::{generators, io, partition, reorder, subgraph, Csr, GraphBuilder, GraphStats};
 
 fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2usize..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
-            .prop_map(move |e| (n, e))
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |e| (n, e))
     })
 }
 
@@ -133,6 +132,83 @@ proptest! {
             d1.sort_unstable();
             d2.sort_unstable();
             prop_assert_eq!(d1, d2);
+        }
+    }
+
+    /// On power-law (R-MAT) graphs, the edge-balanced partition covers
+    /// every vertex exactly once with contiguous ranges, and no part
+    /// carries more than twice the mean edge load.
+    #[test]
+    fn edge_balanced_partition_is_balanced(
+        n in 200usize..800,
+        edges_per_vertex in 15usize..25,
+        parts in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::rmat_default(n, n * edges_per_vertex, seed);
+        let p = partition::edge_balanced_partition(&g, parts);
+        prop_assert_eq!(p.parts(), parts);
+        // Contiguous ranges tile 0..n: every vertex in exactly one part.
+        let mut covered = 0usize;
+        for i in 0..parts {
+            let r = p.range(i);
+            prop_assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        prop_assert_eq!(covered, n);
+        // Per-part edge load stays within 2x the mean.
+        let mean = g.num_edges() as f64 / parts as f64;
+        for i in 0..parts {
+            let load: usize = p.range(i).map(|v| g.degree(v)).sum();
+            prop_assert!(
+                (load as f64) <= 2.0 * mean,
+                "part {} holds {} of {} edges (mean {:.0})",
+                i, load, g.num_edges(), mean
+            );
+        }
+    }
+
+    /// Ego-graph extraction agrees with a naive reference on membership
+    /// and edges, and interior vertices keep their exact degrees.
+    #[test]
+    fn ego_graph_matches_naive_reference(
+        n in 50usize..300,
+        edges_per_vertex in 2usize..10,
+        hops in 1usize..4,
+        seed in any::<u64>(),
+        t0 in any::<u32>(),
+        t1 in any::<u32>(),
+    ) {
+        let g = generators::rmat_default(n, n * edges_per_vertex, seed);
+        let targets = [t0 % n as u32, t1 % n as u32];
+        let ego = subgraph::ego_graph(&g, &targets, hops);
+        let (members, mut want_edges) = subgraph::ego_reference(&g, &targets, hops);
+        // Same vertex set at the same minimum distances.
+        let mut got: Vec<(u32, usize)> = ego
+            .vertices
+            .iter()
+            .zip(&ego.hop)
+            .map(|(&v, &h)| (v, h as usize))
+            .collect();
+        let mut want = members;
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Same induced edge set (in original ids).
+        let mut got_edges: Vec<(u32, u32)> = ego
+            .csr
+            .edge_iter()
+            .map(|(s, d)| (ego.vertices[s as usize], ego.vertices[d as usize]))
+            .collect();
+        got_edges.sort_unstable();
+        want_edges.sort_unstable();
+        prop_assert_eq!(got_edges, want_edges);
+        // Interior vertices (strictly inside the extraction radius) keep
+        // their complete in-neighbor rows, hence exact degrees.
+        for (local, &orig) in ego.vertices.iter().enumerate() {
+            if ego.row_is_complete(local, hops) {
+                prop_assert_eq!(ego.csr.degree(local), g.degree(orig as usize));
+            }
         }
     }
 

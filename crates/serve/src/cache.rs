@@ -1,0 +1,243 @@
+//! LRU cache of computed vertex embeddings.
+//!
+//! Under skewed (Zipfian) request traffic a small set of hot vertices is
+//! asked for over and over; caching their final-layer embeddings lets
+//! repeats skip ego-graph extraction *and* the engine forward pass. Keys
+//! carry the layer index and a model version so partial-layer reuse and
+//! model rollouts invalidate naturally (bump `version`, old entries are
+//! never hit again and age out via LRU).
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Cache key: which embedding this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Original graph vertex id.
+    pub vertex: u32,
+    /// Layer the embedding comes out of (`net.depth()` for final
+    /// outputs).
+    pub layer: u16,
+    /// Model version; bumping it invalidates every older entry.
+    pub version: u32,
+}
+
+struct Entry {
+    row: Vec<f32>,
+    stamp: u64,
+}
+
+/// An LRU map from [`CacheKey`] to an embedding row, with hit/miss
+/// accounting. A capacity of 0 disables caching (every lookup misses,
+/// inserts are dropped).
+pub struct FeatureCache {
+    capacity: usize,
+    map: HashMap<CacheKey, Entry>,
+    // Recency index: stamp -> key, oldest first. Stamps are unique (one
+    // monotone clock), so BTreeMap keeps exact LRU order with O(log n)
+    // bump/evict — plenty for serving-path cardinalities.
+    lru: BTreeMap<u64, CacheKey>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl FeatureCache {
+    /// A cache holding at most `capacity` rows.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            lru: BTreeMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum entry count (0 = caching disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// `hits / (hits + misses)`, or 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Look `key` up, counting a hit or miss and refreshing recency on
+    /// hit.
+    pub fn get(&mut self, key: CacheKey) -> Option<&[f32]> {
+        if self.capacity == 0 {
+            self.misses += 1;
+            return None;
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        match self.map.get_mut(&key) {
+            Some(entry) => {
+                self.hits += 1;
+                self.lru.remove(&entry.stamp);
+                entry.stamp = clock;
+                self.lru.insert(clock, key);
+                Some(&entry.row)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an embedding row, evicting the least recently
+    /// used entry if at capacity. No-op when the cache is disabled.
+    pub fn insert(&mut self, key: CacheKey, row: Vec<f32>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(entry) = self.map.get_mut(&key) {
+            self.lru.remove(&entry.stamp);
+            entry.stamp = clock;
+            entry.row = row;
+            self.lru.insert(clock, key);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some((_, victim)) = self.lru.pop_first() {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, Entry { row, stamp: clock });
+        self.lru.insert(clock, key);
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.lru.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: u32) -> CacheKey {
+        CacheKey {
+            vertex: v,
+            layer: 2,
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = FeatureCache::new(4);
+        assert!(c.get(key(1)).is_none());
+        c.insert(key(1), vec![1.0, 2.0]);
+        assert_eq!(c.get(key(1)), Some(&[1.0, 2.0][..]));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = FeatureCache::new(2);
+        c.insert(key(1), vec![1.0]);
+        c.insert(key(2), vec![2.0]);
+        assert!(c.get(key(1)).is_some()); // 1 is now more recent than 2
+        c.insert(key(3), vec![3.0]); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert!(c.get(key(2)).is_none(), "LRU victim was 2");
+        assert!(c.get(key(1)).is_some());
+        assert!(c.get(key(3)).is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = FeatureCache::new(0);
+        c.insert(key(1), vec![1.0]);
+        assert!(c.get(key(1)).is_none());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn version_and_layer_partition_the_keyspace() {
+        let mut c = FeatureCache::new(8);
+        c.insert(
+            CacheKey {
+                vertex: 5,
+                layer: 2,
+                version: 1,
+            },
+            vec![1.0],
+        );
+        assert!(c
+            .get(CacheKey {
+                vertex: 5,
+                layer: 2,
+                version: 2
+            })
+            .is_none());
+        assert!(c
+            .get(CacheKey {
+                vertex: 5,
+                layer: 1,
+                version: 1
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = FeatureCache::new(2);
+        c.insert(key(1), vec![1.0]);
+        c.insert(key(2), vec![2.0]);
+        c.insert(key(1), vec![10.0]); // refresh: 2 is now LRU
+        c.insert(key(3), vec![3.0]); // evicts 2
+        assert_eq!(c.get(key(1)), Some(&[10.0][..]));
+        assert!(c.get(key(2)).is_none());
+    }
+
+    #[test]
+    fn hit_rate_defined_before_any_lookup() {
+        let c = FeatureCache::new(4);
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+}

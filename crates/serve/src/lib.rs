@@ -1,0 +1,65 @@
+//! # tlpgnn-serve — online GNN inference serving on the TLPGNN engine
+//!
+//! The rest of the workspace runs *offline* full-graph sweeps; this crate
+//! adds the missing request path: a node-classification service that
+//! answers "what are the model's outputs at these vertices, now?" under
+//! latency/throughput load. Online GNN inference is dominated by
+//! host-side per-request work — subgraph and metadata assembly — so the
+//! serving layer is built around amortizing exactly that:
+//!
+//! * **Requests** name target vertices (and optionally an extraction
+//!   depth); responses carry one output row per target plus a latency
+//!   breakdown ([`request`]).
+//! * A **dynamic micro-batcher** coalesces concurrent requests: a batch
+//!   flushes when it reaches `max_batch` requests *or* its oldest request
+//!   has waited `max_wait`, whichever comes first ([`batcher`]).
+//! * Each batch runs one **k-hop ego-graph extraction**
+//!   (`tlpgnn_graph::subgraph`) over the union of its miss targets, then
+//!   a single engine forward pass on the induced subgraph — one upload +
+//!   kernel-launch sequence for the whole batch instead of one per
+//!   request ([`server`]).
+//! * An **LRU feature cache** keyed by `(vertex, layer, model_version)`
+//!   lets hot vertices skip extraction and recomputation entirely
+//!   ([`cache`]).
+//! * **Backpressure** is explicit: the request queue is bounded and
+//!   `submit` fails fast with [`ServeError::Overloaded`] past capacity —
+//!   the queue never grows without bound ([`batcher`], [`server`]).
+//!
+//! Everything is instrumented through `telemetry` under the server's
+//! metrics prefix (default `serve`): `<prefix>.queue_depth` gauge,
+//! `<prefix>.{batch_size, extraction_ms, compute_ms, e2e_latency_ms}`
+//! histograms, and `<prefix>.{completed, rejected}` plus cache hit/miss
+//! counters. The `serve_bench` binary in `tlpgnn-bench` drives a closed
+//! loop of Zipfian clients ([`workload`]) against the server and writes
+//! `results/serve_bench.metrics.json`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tlpgnn::{GnnModel, GnnNetwork};
+//! use tlpgnn_graph::generators;
+//! use tlpgnn_serve::{GnnServer, Request, ServeConfig};
+//! use tlpgnn_tensor::Matrix;
+//!
+//! let g = generators::rmat_default(500, 3000, 1);
+//! let x = Matrix::random(500, 8, 1.0, 2);
+//! let net = GnnNetwork::two_layer(|_| GnnModel::Gcn, 8, 8, 4, 3);
+//! let server = GnnServer::start(ServeConfig::default(), g, x, net);
+//! let handle = server.submit(Request::new(vec![7, 42])).unwrap();
+//! let response = handle.wait().unwrap();
+//! assert_eq!(response.outputs.shape(), (2, 4));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod request;
+pub mod server;
+pub mod workload;
+
+pub use batcher::{BatchQueue, PushError};
+pub use cache::{CacheKey, FeatureCache};
+pub use request::{Request, RequestTiming, Response, ServeError};
+pub use server::{GnnServer, ResponseHandle, ServeConfig, ServerStats};
+pub use workload::ZipfSampler;

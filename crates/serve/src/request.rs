@@ -1,0 +1,114 @@
+//! The request/response model of the serving layer.
+
+use std::fmt;
+
+use tlpgnn_tensor::Matrix;
+
+/// One inference request: compute the network's outputs at `targets`.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Target vertex ids (original graph ids). Duplicates are allowed;
+    /// the response carries one row per entry, in order.
+    pub targets: Vec<u32>,
+    /// Optional ego-graph extraction depth override. `None` uses the
+    /// server's exact receptive field (`GnnNetwork::receptive_hops`);
+    /// a smaller value trades accuracy for latency (truncated receptive
+    /// field), a larger one only costs extraction time. Batches use the
+    /// maximum requested depth.
+    pub hops: Option<usize>,
+}
+
+impl Request {
+    /// A request for `targets` at the server's exact receptive depth.
+    pub fn new(targets: Vec<u32>) -> Self {
+        Self {
+            targets,
+            hops: None,
+        }
+    }
+
+    /// A request with an explicit extraction depth.
+    pub fn with_hops(targets: Vec<u32>, hops: usize) -> Self {
+        Self {
+            targets,
+            hops: Some(hops),
+        }
+    }
+}
+
+/// A served response: one output row per request target, plus where the
+/// time went.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// `targets.len() × classes` output rows, in request-target order.
+    pub outputs: Matrix,
+    /// Latency breakdown of the batch that served this request.
+    pub timing: RequestTiming,
+}
+
+/// Where a request's latency went. Extraction/compute are per *batch*
+/// (shared by every request the batch served); queue time is per
+/// request.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RequestTiming {
+    /// Time spent queued before a worker picked the batch up, ms.
+    pub queue_ms: f64,
+    /// Ego-graph extraction time of the serving batch, ms (0 when every
+    /// target was a cache hit).
+    pub extract_ms: f64,
+    /// Engine forward-pass time of the serving batch, ms (0 on full
+    /// cache hit).
+    pub compute_ms: f64,
+    /// How many requests the serving batch coalesced.
+    pub batch_size: usize,
+    /// How many of *this request's* targets were served from the cache.
+    pub cache_hits: usize,
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is full — admission control rejected the
+    /// request instead of letting the queue grow without bound. Retry
+    /// with backoff.
+    Overloaded,
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+    /// A target vertex id is outside the graph.
+    InvalidTarget(u32),
+    /// The request named no targets.
+    EmptyRequest,
+    /// The worker serving this request died before responding.
+    WorkerLost,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "request queue full (overloaded)"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::InvalidTarget(v) => write!(f, "target vertex {v} out of range"),
+            ServeError::EmptyRequest => write!(f, "request has no targets"),
+            ServeError::WorkerLost => write!(f, "serving worker terminated unexpectedly"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_hops() {
+        assert_eq!(Request::new(vec![1]).hops, None);
+        assert_eq!(Request::with_hops(vec![1], 2).hops, Some(2));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ServeError::Overloaded.to_string().contains("queue full"));
+        assert!(ServeError::InvalidTarget(9).to_string().contains('9'));
+    }
+}

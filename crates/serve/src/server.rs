@@ -1,0 +1,522 @@
+//! The serving loop: bounded admission, micro-batched workers, cached
+//! ego-graph inference.
+//!
+//! A [`GnnServer`] owns the graph, the feature matrix, and the trained
+//! network. Clients call [`submit`](GnnServer::submit) from any thread;
+//! each worker thread owns one [`TlpgnnEngine`] (one simulated device per
+//! worker) and drains the shared [`BatchQueue`]. A batch is served with
+//! at most one ego-graph extraction and one engine forward pass, no
+//! matter how many requests it coalesced; per-vertex outputs are LRU
+//! cached so hot vertices skip both.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gpu_sim::DeviceConfig;
+use tlpgnn::{EngineOptions, GnnNetwork, TlpgnnEngine};
+use tlpgnn_graph::subgraph::ego_graph;
+use tlpgnn_graph::Csr;
+use tlpgnn_tensor::Matrix;
+
+use crate::batcher::{BatchQueue, PushError};
+use crate::cache::{CacheKey, FeatureCache};
+use crate::request::{Request, RequestTiming, Response, ServeError};
+
+/// Configuration of a [`GnnServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each owning one simulated device/engine.
+    pub workers: usize,
+    /// Maximum requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Maximum time the oldest queued request waits before a partial
+    /// batch flushes.
+    pub max_wait: Duration,
+    /// Bounded request-queue capacity; pushes past it are rejected with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// LRU feature-cache capacity in vertex rows (0 disables caching).
+    pub cache_capacity: usize,
+    /// Model version stamped into cache keys; bump on weight updates to
+    /// invalidate cached outputs.
+    pub model_version: u32,
+    /// Simulated device each worker runs on.
+    pub device: DeviceConfig,
+    /// Engine tunables.
+    pub engine_options: EngineOptions,
+    /// Prefix for every telemetry metric the server emits (lets several
+    /// server instances in one process keep their metrics apart).
+    pub metrics_prefix: String,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+            cache_capacity: 65_536,
+            model_version: 1,
+            device: DeviceConfig::test_small(),
+            engine_options: EngineOptions::default(),
+            metrics_prefix: "serve".to_string(),
+        }
+    }
+}
+
+/// Counter snapshot of a running (or stopped) server.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    /// Requests answered with a [`Response`].
+    pub completed: u64,
+    /// Requests rejected with [`ServeError::Overloaded`].
+    pub rejected: u64,
+    /// Batches executed by the workers.
+    pub batches: u64,
+    /// Target rows computed on an engine (cache misses actually served).
+    pub computed_targets: u64,
+    /// Feature-cache lookup hits.
+    pub cache_hits: u64,
+    /// Feature-cache lookup misses.
+    pub cache_misses: u64,
+    /// Feature-cache evictions.
+    pub cache_evictions: u64,
+}
+
+impl ServerStats {
+    /// `cache_hits / (cache_hits + cache_misses)`, or 0.0 before any
+    /// lookup.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Pre-rendered metric names so the hot path never formats strings.
+struct MetricNames {
+    queue_depth: String,
+    batch_size: String,
+    extraction_ms: String,
+    compute_ms: String,
+    e2e_latency_ms: String,
+    completed: String,
+    rejected: String,
+    cache_hits: String,
+    cache_misses: String,
+    cache_hit_rate: String,
+}
+
+impl MetricNames {
+    fn new(prefix: &str) -> Self {
+        Self {
+            queue_depth: format!("{prefix}.queue_depth"),
+            batch_size: format!("{prefix}.batch_size"),
+            extraction_ms: format!("{prefix}.extraction_ms"),
+            compute_ms: format!("{prefix}.compute_ms"),
+            e2e_latency_ms: format!("{prefix}.e2e_latency_ms"),
+            completed: format!("{prefix}.completed"),
+            rejected: format!("{prefix}.rejected"),
+            cache_hits: format!("{prefix}.cache.hits"),
+            cache_misses: format!("{prefix}.cache.misses"),
+            cache_hit_rate: format!("{prefix}.cache.hit_rate"),
+        }
+    }
+}
+
+struct Pending {
+    request: Request,
+    tx: mpsc::Sender<Result<Response, ServeError>>,
+}
+
+struct Shared {
+    graph: Csr,
+    features: Matrix,
+    net: GnnNetwork,
+    exact_hops: usize,
+    final_layer: u16,
+    model_version: u32,
+    cache: Mutex<FeatureCache>,
+    metrics: MetricNames,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    computed_targets: AtomicU64,
+}
+
+/// A handle on one submitted request; [`wait`](ResponseHandle::wait)
+/// blocks until the serving worker answers.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<Result<Response, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// Block until the request is served (or failed).
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Response, ServeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// An online GNN inference server over one graph + feature matrix +
+/// trained network. See the crate docs for the serving pipeline.
+pub struct GnnServer {
+    queue: Arc<BatchQueue<Pending>>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl GnnServer {
+    /// Start the worker pool and return a server ready for
+    /// [`submit`](Self::submit).
+    ///
+    /// # Panics
+    /// Panics if the feature matrix does not have one row per graph
+    /// vertex, or if `cfg.workers` is zero.
+    pub fn start(cfg: ServeConfig, graph: Csr, features: Matrix, net: GnnNetwork) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert_eq!(
+            features.rows(),
+            graph.num_vertices(),
+            "feature matrix must have one row per vertex"
+        );
+        let queue = Arc::new(BatchQueue::new(
+            cfg.queue_capacity,
+            cfg.max_batch,
+            cfg.max_wait,
+        ));
+        let shared = Arc::new(Shared {
+            exact_hops: net.receptive_hops(),
+            final_layer: net.depth() as u16,
+            model_version: cfg.model_version,
+            cache: Mutex::new(FeatureCache::new(cfg.cache_capacity)),
+            metrics: MetricNames::new(&cfg.metrics_prefix),
+            graph,
+            features,
+            net,
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            computed_targets: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let shared = Arc::clone(&shared);
+                let device = cfg.device.clone();
+                let options = cfg.engine_options.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(queue, shared, device, options))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Self {
+            queue,
+            shared,
+            workers,
+        }
+    }
+
+    /// Submit one request. Returns immediately with a handle, or fails
+    /// fast: [`ServeError::EmptyRequest`] / [`ServeError::InvalidTarget`]
+    /// on malformed input, [`ServeError::Overloaded`] when the bounded
+    /// queue is full, [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, request: Request) -> Result<ResponseHandle, ServeError> {
+        if request.targets.is_empty() {
+            return Err(ServeError::EmptyRequest);
+        }
+        let n = self.shared.graph.num_vertices() as u32;
+        if let Some(&bad) = request.targets.iter().find(|&&t| t >= n) {
+            return Err(ServeError::InvalidTarget(bad));
+        }
+        let (tx, rx) = mpsc::channel();
+        match self.queue.push(Pending { request, tx }) {
+            Ok(depth) => {
+                telemetry::gauge_set(&self.shared.metrics.queue_depth, depth as f64);
+                Ok(ResponseHandle { rx })
+            }
+            Err(PushError::Full(_)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add(&self.shared.metrics.rejected, 1);
+                Err(ServeError::Overloaded)
+            }
+            Err(PushError::ShutDown(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// The exact extraction depth (`GnnNetwork::receptive_hops`) used for
+    /// requests that don't override `hops`.
+    pub fn exact_hops(&self) -> usize {
+        self.shared.exact_hops
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        let (cache_hits, cache_misses, cache_evictions) = {
+            let cache = self.shared.cache.lock().unwrap();
+            (cache.hits(), cache.misses(), cache.evictions())
+        };
+        ServerStats {
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            computed_targets: self.shared.computed_targets.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+        }
+    }
+
+    /// Stop accepting requests, serve everything already queued, join the
+    /// workers, and return the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.queue.shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for GnnServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(
+    queue: Arc<BatchQueue<Pending>>,
+    shared: Arc<Shared>,
+    device: DeviceConfig,
+    options: EngineOptions,
+) {
+    let mut engine = TlpgnnEngine::new(device, options);
+    while let Some(batch) = queue.pop_batch() {
+        telemetry::gauge_set(&shared.metrics.queue_depth, queue.len() as f64);
+        process_batch(&mut engine, &shared, batch);
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Vec<(Pending, Instant)>) {
+    let _span = telemetry::span!("serve.process_batch", requests = batch.len());
+    let picked_up = Instant::now();
+    let m = &shared.metrics;
+    let classes = shared.net.out_dim();
+
+    // Unique targets across the batch, first-occurrence order.
+    let mut uniq: Vec<u32> = Vec::new();
+    let mut seen: HashMap<u32, ()> = HashMap::new();
+    for (p, _) in &batch {
+        for &t in &p.request.targets {
+            if seen.insert(t, ()).is_none() {
+                uniq.push(t);
+            }
+        }
+    }
+
+    // Cache pass: pull every hit, collect the misses.
+    let mut rows: HashMap<u32, Vec<f32>> = HashMap::with_capacity(uniq.len());
+    let mut miss_targets: Vec<u32> = Vec::new();
+    {
+        let mut cache = shared.cache.lock().unwrap();
+        let hits_before = cache.hits();
+        for &t in &uniq {
+            let key = CacheKey {
+                vertex: t,
+                layer: shared.final_layer,
+                version: shared.model_version,
+            };
+            match cache.get(key) {
+                Some(row) => {
+                    rows.insert(t, row.to_vec());
+                }
+                None => miss_targets.push(t),
+            }
+        }
+        telemetry::counter_add(&m.cache_hits, cache.hits() - hits_before);
+        telemetry::counter_add(&m.cache_misses, miss_targets.len() as u64);
+        telemetry::gauge_set(&m.cache_hit_rate, cache.hit_rate());
+    }
+
+    // One extraction + one forward pass for every miss in the batch.
+    let mut extract_ms = 0.0;
+    let mut compute_ms = 0.0;
+    if !miss_targets.is_empty() {
+        let hops = batch
+            .iter()
+            .map(|(p, _)| p.request.hops.unwrap_or(shared.exact_hops))
+            .max()
+            .unwrap_or(shared.exact_hops);
+        let t0 = Instant::now();
+        let ego = ego_graph(&shared.graph, &miss_targets, hops);
+        let feat_dim = shared.features.cols();
+        let mut sub_feats = Matrix::zeros(ego.vertices.len(), feat_dim);
+        for (local, &orig) in ego.vertices.iter().enumerate() {
+            sub_feats
+                .row_mut(local)
+                .copy_from_slice(shared.features.row(orig as usize));
+        }
+        extract_ms = ms(t0.elapsed());
+        telemetry::observe(&m.extraction_ms, extract_ms);
+
+        let t1 = Instant::now();
+        let (out, _profile) = engine.classify_forward(&shared.net, &ego.csr, &sub_feats);
+        compute_ms = ms(t1.elapsed());
+        telemetry::observe(&m.compute_ms, compute_ms);
+
+        let mut cache = shared.cache.lock().unwrap();
+        for (local, &orig) in ego.targets().iter().enumerate() {
+            let row = out.row(local).to_vec();
+            cache.insert(
+                CacheKey {
+                    vertex: orig,
+                    layer: shared.final_layer,
+                    version: shared.model_version,
+                },
+                row.clone(),
+            );
+            rows.insert(orig, row);
+        }
+        shared
+            .computed_targets
+            .fetch_add(miss_targets.len() as u64, Ordering::Relaxed);
+    }
+
+    telemetry::observe(&m.batch_size, batch.len() as f64);
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+
+    // Assemble and deliver per-request responses.
+    for (p, enqueued) in batch.iter() {
+        let targets = &p.request.targets;
+        let mut data = Vec::with_capacity(targets.len() * classes);
+        let mut cache_hits = 0usize;
+        for &t in targets {
+            let row = &rows[&t];
+            if !miss_targets.contains(&t) {
+                cache_hits += 1;
+            }
+            data.extend_from_slice(row);
+        }
+        let timing = RequestTiming {
+            queue_ms: ms(picked_up.duration_since(*enqueued)),
+            extract_ms,
+            compute_ms,
+            batch_size: batch.len(),
+            cache_hits,
+        };
+        let outputs = Matrix::from_vec(targets.len(), classes, data);
+        let e2e = ms(enqueued.elapsed());
+        telemetry::observe(&m.e2e_latency_ms, e2e);
+        telemetry::counter_add(&m.completed, 1);
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        // A dropped handle just means the client stopped waiting.
+        let _ = p.tx.send(Ok(Response { outputs, timing }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlpgnn::GnnModel;
+    use tlpgnn_graph::generators;
+
+    fn small_server(cache_capacity: usize) -> GnnServer {
+        let g = generators::rmat_default(200, 1200, 7);
+        let x = Matrix::random(200, 8, 1.0, 9);
+        let net = GnnNetwork::two_layer(|_| GnnModel::Gin { eps: 0.1 }, 8, 8, 4, 3);
+        let cfg = ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            cache_capacity,
+            metrics_prefix: "serve.test".to_string(),
+            ..ServeConfig::default()
+        };
+        GnnServer::start(cfg, g, x, net)
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let server = small_server(64);
+        let resp = server
+            .submit(Request::new(vec![0, 5, 5]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.outputs.shape(), (3, 4));
+        // Duplicate targets get identical rows.
+        assert_eq!(resp.outputs.row(1), resp.outputs.row(2));
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn validates_before_queueing() {
+        let server = small_server(64);
+        assert_eq!(
+            server.submit(Request::new(vec![])).unwrap_err(),
+            ServeError::EmptyRequest
+        );
+        assert_eq!(
+            server.submit(Request::new(vec![10_000])).unwrap_err(),
+            ServeError::InvalidTarget(10_000)
+        );
+        assert_eq!(server.stats().completed, 0);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        let server = small_server(64);
+        let a = server
+            .submit(Request::new(vec![3]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let b = server
+            .submit(Request::new(vec![3]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(a.outputs.row(0), b.outputs.row(0));
+        assert_eq!(b.timing.cache_hits, 1);
+        let stats = server.shutdown();
+        assert!(stats.cache_hits >= 1, "second lookup must hit");
+        assert_eq!(stats.computed_targets, 1, "vertex computed only once");
+    }
+
+    #[test]
+    fn submit_after_shutdown_reports_shutting_down() {
+        let server = small_server(64);
+        server.queue.shutdown();
+        assert_eq!(
+            server.submit(Request::new(vec![1])).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+}

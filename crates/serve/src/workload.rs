@@ -1,0 +1,126 @@
+//! Workload generation for serving benchmarks.
+//!
+//! Real request streams are heavily skewed: a small set of popular
+//! entities (users, items, pages) receives most of the traffic. The
+//! serving feature cache only pays off under that skew, so the load
+//! generator models popularity with a Zipf distribution — rank `r`
+//! (0-based) is drawn with probability proportional to `1/(r+1)^s`.
+//!
+//! The sampler is self-contained (splitmix64 core) so the serving crate
+//! and its benchmarks need no external RNG dependency and produce
+//! identical streams for a given seed on every platform.
+
+/// A seeded Zipf-distributed sampler over `0..n`.
+///
+/// Rank 0 is the most popular vertex. `exponent` (`s`) controls skew:
+/// `s = 0` is uniform, `s ≈ 1` is classic web-traffic skew, larger is
+/// more concentrated.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    // cdf[r] = P(rank <= r); last entry is 1.0.
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ZipfSampler {
+    /// A sampler over `0..n` with skew `exponent`, deterministic in
+    /// `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `exponent` is negative/non-finite.
+    pub fn new(n: usize, exponent: f64, seed: u64) -> Self {
+        assert!(n > 0, "ZipfSampler needs a non-empty domain");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        *cdf.last_mut().unwrap() = 1.0;
+        Self { cdf, state: seed }
+    }
+
+    /// The size of the sampled domain.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw the next rank in `0..n`.
+    pub fn sample(&mut self) -> u32 {
+        let u = self.next_f64();
+        // First index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        // 53 uniform mantissa bits -> [0, 1).
+        (splitmix64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = ZipfSampler::new(1000, 1.0, 7);
+        let mut b = ZipfSampler::new(1000, 1.0, 7);
+        let sa: Vec<u32> = (0..64).map(|_| a.sample()).collect();
+        let sb: Vec<u32> = (0..64).map(|_| b.sample()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let mut s = ZipfSampler::new(37, 1.2, 99);
+        for _ in 0..10_000 {
+            assert!((s.sample() as usize) < 37);
+        }
+    }
+
+    #[test]
+    fn skew_favors_low_ranks() {
+        let mut s = ZipfSampler::new(1000, 1.0, 3);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..50_000 {
+            counts[s.sample() as usize] += 1;
+        }
+        assert!(
+            counts[0] > 20 * counts[100].max(1),
+            "rank 0 ({}) should dwarf rank 100 ({})",
+            counts[0],
+            counts[100]
+        );
+        let head: u32 = counts[..10].iter().sum();
+        assert!(head as f64 > 0.25 * 50_000.0, "top-10 head carries traffic");
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let mut s = ZipfSampler::new(4, 0.0, 11);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[s.sample() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+}

@@ -29,6 +29,23 @@ impl Histogram {
         self.values.len()
     }
 
+    /// The recorded samples, in observation order.
+    pub fn samples(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Nearest-rank percentile of the recorded samples.
+    ///
+    /// Total — never panics and never returns NaN: an empty histogram
+    /// yields `0.0`, a single-sample histogram yields that sample for
+    /// every `q`, and `q` outside `[0, 100]` (including NaN) is clamped
+    /// into range (NaN clamps to 0).
+    pub fn percentile(&self, q: f64) -> f64 {
+        let mut sorted = self.values.clone();
+        sorted.sort_by(f64::total_cmp);
+        percentile(&sorted, q)
+    }
+
     /// Summary statistics (zeros when empty).
     pub fn summary(&self) -> HistogramSummary {
         if self.values.is_empty() {
@@ -50,11 +67,14 @@ impl Histogram {
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice.
+/// Nearest-rank percentile of an ascending-sorted slice. Defined for
+/// every input: empty slices yield 0.0 and `q` is clamped into
+/// `[0, 100]` (a NaN `q` clamps to 0, i.e. the minimum).
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 100.0) };
     let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -257,11 +277,38 @@ mod tests {
         h.observe(7.0);
         let s = h.summary();
         assert_eq!((s.p50, s.p90, s.p99), (7.0, 7.0, 7.0));
+        // Every quantile of a single-sample histogram is that sample, and
+        // the summary carries no NaN anywhere.
+        for q in [0.0, 0.001, 50.0, 99.999, 100.0] {
+            assert_eq!(h.percentile(q), 7.0);
+        }
+        assert_eq!((s.min, s.max, s.mean), (7.0, 7.0, 7.0));
     }
 
     #[test]
     fn empty_histogram_is_zeros() {
         assert_eq!(Histogram::default().summary(), HistogramSummary::default());
+        // Percentiles of an empty histogram are defined (0.0), not a
+        // panic or NaN.
+        let h = Histogram::default();
+        for q in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_quantiles_clamp() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 3.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(-10.0), 1.0, "below 0 clamps to min");
+        assert_eq!(h.percentile(250.0), 3.0, "above 100 clamps to max");
+        assert_eq!(h.percentile(0.0), 1.0, "p0 is the minimum");
+        assert_eq!(h.percentile(100.0), 3.0, "p100 is the maximum");
+        let nan = h.percentile(f64::NAN);
+        assert!(!nan.is_nan(), "NaN quantile must not propagate");
+        assert_eq!(nan, 1.0);
     }
 
     #[test]

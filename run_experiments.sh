@@ -1,13 +1,14 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerate every table and figure of the paper, the extension
 # experiments, and the ablations. Results land in results/.
 # TLPGNN_SCALE can shrink everything for a quick pass (see crates/bench).
-set -e
+set -euo pipefail
 cd "$(dirname "$0")"
 mkdir -p results
 for exp in datasets table1 table2 table3 table5 fig8 fig9 fig10 fig11 fig12 \
            ext_multigpu ext_hetero ablation_tuning ablation_advisor \
-           ablation_costmodel ablation_device profile_kernels native_scaling; do
+           ablation_costmodel ablation_device profile_kernels native_scaling \
+           serve_bench; do
     echo "=== running $exp ==="
     ./target/release/$exp > results/$exp.txt 2>&1
 done
