@@ -22,6 +22,11 @@ echo "=== repro gate ==="
 # on any failure. TLPGNN_SCALE keeps it fast on small CI machines.
 ./target/release/repro_gate
 
+echo "=== conformance smoke ==="
+# Seeded differential/metamorphic fuzz over all 16 backends; exits
+# non-zero (and prints the shrunk case) on any invariant violation.
+./target/release/conformance_fuzz --seed 42 --iters 200 --no-save
+
 echo "=== serve smoke ==="
 # Short serving workload; the binary re-reads results/serve_bench.metrics.json
 # and exits non-zero unless requests completed, nothing was dropped while

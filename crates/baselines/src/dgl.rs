@@ -120,17 +120,78 @@ impl DglSystem {
         let selfbuf = mem.alloc::<f32>(c.n * c.f);
 
         // 1. values[e] = norm[src[e]]
-        self.launch_flat(op, &GatherKernel { ids: c.coo.src, table: norm, out: values, len: c.m, label: "gather_src_norm" }, c.m);
+        self.launch_flat(
+            op,
+            &GatherKernel {
+                ids: c.coo.src,
+                table: norm,
+                out: values,
+                len: c.m,
+                label: "gather_src_norm",
+            },
+            c.m,
+        );
         // 2. values[e] *= norm[dst[e]]
-        self.launch_flat(op, &EdgeRowBinaryKernel { data: values, table: norm, dst: c.coo.dst, len: c.m, op: EdgeRowBinaryOp::Mul }, c.m);
+        self.launch_flat(
+            op,
+            &EdgeRowBinaryKernel {
+                data: values,
+                table: norm,
+                dst: c.coo.dst,
+                len: c.m,
+                op: EdgeRowBinaryOp::Mul,
+            },
+            c.m,
+        );
         // 3. SpMM
-        self.launch_rows(op, &SpmmCsrKernel { indptr: c.indptr, indices: c.indices, values, x: c.x, out: tmp, n: c.n, f: c.f }, c.n);
+        self.launch_rows(
+            op,
+            &SpmmCsrKernel {
+                indptr: c.indptr,
+                indices: c.indices,
+                values,
+                x: c.x,
+                out: tmp,
+                n: c.n,
+                f: c.f,
+            },
+            c.n,
+        );
         // 4. selfbuf = c_v^2 * x
-        self.launch_rows(op, &RowScaleKernel { x: c.x, s: self_w, out: selfbuf, n: c.n, f: c.f }, c.n);
+        self.launch_rows(
+            op,
+            &RowScaleKernel {
+                x: c.x,
+                s: self_w,
+                out: selfbuf,
+                n: c.n,
+                f: c.f,
+            },
+            c.n,
+        );
         // 5. out = tmp + selfbuf
-        self.launch_flat(op, &AddKernel { a: tmp, b: selfbuf, out: c.out, len: c.n * c.f }, c.n * c.f);
+        self.launch_flat(
+            op,
+            &AddKernel {
+                a: tmp,
+                b: selfbuf,
+                out: c.out,
+                len: c.n * c.f,
+            },
+            c.n * c.f,
+        );
         // 6. output format copy (contiguous cast back to the framework)
-        self.launch_flat(op, &ScaleCopyKernel { src: c.out, dst: c.out, scale: 1.0, len: c.n * c.f, label: "format_output" }, c.n * c.f);
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: c.out,
+                dst: c.out,
+                scale: 1.0,
+                len: c.n * c.f,
+                label: "format_output",
+            },
+            c.n * c.f,
+        );
 
         let mem = self.device.mem_mut();
         mem.free(norm);
@@ -151,20 +212,98 @@ impl DglSystem {
         let self_w = mem.alloc_from(&crate::common::self_weights(g, Aggregator::GinSum { eps }));
 
         // 1. format: copy column indices for the sparse handle
-        self.launch_flat(op, &CopyU32Kernel { src: c.indices, dst: col_ids, len: c.m, label: "format_col_ids" }, c.m);
+        self.launch_flat(
+            op,
+            &CopyU32Kernel {
+                src: c.indices,
+                dst: col_ids,
+                len: c.m,
+                label: "format_col_ids",
+            },
+            c.m,
+        );
         // 2. values = 1
-        self.launch_flat(op, &FillKernel { out: values, value: 1.0, len: c.m }, c.m);
+        self.launch_flat(
+            op,
+            &FillKernel {
+                out: values,
+                value: 1.0,
+                len: c.m,
+            },
+            c.m,
+        );
         // 3. copy input tensor to contiguous layout
-        self.launch_flat(op, &ScaleCopyKernel { src: c.x, dst: x2, scale: 1.0, len: c.n * c.f, label: "format_input" }, c.n * c.f);
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: c.x,
+                dst: x2,
+                scale: 1.0,
+                len: c.n * c.f,
+                label: "format_input",
+            },
+            c.n * c.f,
+        );
         // 4. SpMM
-        self.launch_rows(op, &SpmmCsrKernel { indptr: c.indptr, indices: col_ids, values, x: x2, out: tmp, n: c.n, f: c.f }, c.n);
+        self.launch_rows(
+            op,
+            &SpmmCsrKernel {
+                indptr: c.indptr,
+                indices: col_ids,
+                values,
+                x: x2,
+                out: tmp,
+                n: c.n,
+                f: c.f,
+            },
+            c.n,
+        );
         // 5. selfbuf = (1 + eps) x
-        self.launch_rows(op, &RowScaleKernel { x: c.x, s: self_w, out: selfbuf, n: c.n, f: c.f }, c.n);
+        self.launch_rows(
+            op,
+            &RowScaleKernel {
+                x: c.x,
+                s: self_w,
+                out: selfbuf,
+                n: c.n,
+                f: c.f,
+            },
+            c.n,
+        );
         // 6. out = tmp + selfbuf
-        self.launch_flat(op, &AddKernel { a: tmp, b: selfbuf, out: c.out, len: c.n * c.f }, c.n * c.f);
+        self.launch_flat(
+            op,
+            &AddKernel {
+                a: tmp,
+                b: selfbuf,
+                out: c.out,
+                len: c.n * c.f,
+            },
+            c.n * c.f,
+        );
         // 7.–8. output format copies (cast + contiguous)
-        self.launch_flat(op, &ScaleCopyKernel { src: c.out, dst: tmp, scale: 1.0, len: c.n * c.f, label: "format_cast" }, c.n * c.f);
-        self.launch_flat(op, &ScaleCopyKernel { src: tmp, dst: c.out, scale: 1.0, len: c.n * c.f, label: "format_output" }, c.n * c.f);
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: c.out,
+                dst: tmp,
+                scale: 1.0,
+                len: c.n * c.f,
+                label: "format_cast",
+            },
+            c.n * c.f,
+        );
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: tmp,
+                dst: c.out,
+                scale: 1.0,
+                len: c.n * c.f,
+                label: "format_output",
+            },
+            c.n * c.f,
+        );
 
         let mem = self.device.mem_mut();
         mem.free(values);
@@ -185,23 +324,117 @@ impl DglSystem {
         let deg = mem.alloc::<f32>(c.n);
 
         // 1. format: column ids
-        self.launch_flat(op, &CopyU32Kernel { src: c.indices, dst: col_ids, len: c.m, label: "format_col_ids" }, c.m);
+        self.launch_flat(
+            op,
+            &CopyU32Kernel {
+                src: c.indices,
+                dst: col_ids,
+                len: c.m,
+                label: "format_col_ids",
+            },
+            c.m,
+        );
         // 2. values = 1
-        self.launch_flat(op, &FillKernel { out: values, value: 1.0, len: c.m }, c.m);
+        self.launch_flat(
+            op,
+            &FillKernel {
+                out: values,
+                value: 1.0,
+                len: c.m,
+            },
+            c.m,
+        );
         // 3. copy input
-        self.launch_flat(op, &ScaleCopyKernel { src: c.x, dst: x2, scale: 1.0, len: c.n * c.f, label: "format_input" }, c.n * c.f);
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: c.x,
+                dst: x2,
+                scale: 1.0,
+                len: c.n * c.f,
+                label: "format_input",
+            },
+            c.n * c.f,
+        );
         // 4. SpMM (plain sum)
-        self.launch_rows(op, &SpmmCsrKernel { indptr: c.indptr, indices: col_ids, values, x: x2, out: tmp, n: c.n, f: c.f }, c.n);
+        self.launch_rows(
+            op,
+            &SpmmCsrKernel {
+                indptr: c.indptr,
+                indices: col_ids,
+                values,
+                x: x2,
+                out: tmp,
+                n: c.n,
+                f: c.f,
+            },
+            c.n,
+        );
         // 5. degrees
-        self.launch_flat(op, &DegreeKernel { indptr: c.indptr, out: deg, n: c.n }, c.n);
+        self.launch_flat(
+            op,
+            &DegreeKernel {
+                indptr: c.indptr,
+                out: deg,
+                n: c.n,
+            },
+            c.n,
+        );
         // 6. reciprocal
-        self.launch_flat(op, &EdgeUnaryKernel { data: deg, op: EdgeUnaryOp::Recip, len: c.n }, c.n);
+        self.launch_flat(
+            op,
+            &EdgeUnaryKernel {
+                data: deg,
+                op: EdgeUnaryOp::Recip,
+                len: c.n,
+            },
+            c.n,
+        );
         // 7. out = inv_deg * tmp
-        self.launch_rows(op, &RowScaleKernel { x: tmp, s: deg, out: c.out, n: c.n, f: c.f }, c.n);
+        self.launch_rows(
+            op,
+            &RowScaleKernel {
+                x: tmp,
+                s: deg,
+                out: c.out,
+                n: c.n,
+                f: c.f,
+            },
+            c.n,
+        );
         // 8.–10. format copies (dst ids, cast, contiguous output)
-        self.launch_flat(op, &CopyU32Kernel { src: c.coo.dst, dst: col_ids, len: c.m, label: "format_row_ids" }, c.m);
-        self.launch_flat(op, &ScaleCopyKernel { src: c.out, dst: tmp, scale: 1.0, len: c.n * c.f, label: "format_cast" }, c.n * c.f);
-        self.launch_flat(op, &ScaleCopyKernel { src: tmp, dst: c.out, scale: 1.0, len: c.n * c.f, label: "format_output" }, c.n * c.f);
+        self.launch_flat(
+            op,
+            &CopyU32Kernel {
+                src: c.coo.dst,
+                dst: col_ids,
+                len: c.m,
+                label: "format_row_ids",
+            },
+            c.m,
+        );
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: c.out,
+                dst: tmp,
+                scale: 1.0,
+                len: c.n * c.f,
+                label: "format_cast",
+            },
+            c.n * c.f,
+        );
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: tmp,
+                dst: c.out,
+                scale: 1.0,
+                len: c.n * c.f,
+                label: "format_output",
+            },
+            c.n * c.f,
+        );
 
         let mem = self.device.mem_mut();
         mem.free(values);
@@ -213,7 +446,13 @@ impl DglSystem {
 
     /// GAT, 18 launches: the full gather → score → softmax → SpMM chain
     /// with every per-edge intermediate materialized.
-    fn pipeline_gat(&mut self, op: &mut OpProfile, c: &Ctx, x: &Matrix, params: &tlpgnn::GatParams) {
+    fn pipeline_gat(
+        &mut self,
+        op: &mut OpProfile,
+        c: &Ctx,
+        x: &Matrix,
+        params: &tlpgnn::GatParams,
+    ) {
         let (al_host, ar_host) = tlpgnn::oracle::gat_scores(x, params);
         let mem = self.device.mem_mut();
         let al = mem.alloc_from(&al_host);
@@ -228,37 +467,212 @@ impl DglSystem {
         let tmp = mem.alloc::<f32>(c.n * c.f);
 
         // 1. format: column ids
-        self.launch_flat(op, &CopyU32Kernel { src: c.indices, dst: col_ids, len: c.m, label: "format_col_ids" }, c.m);
+        self.launch_flat(
+            op,
+            &CopyU32Kernel {
+                src: c.indices,
+                dst: col_ids,
+                len: c.m,
+                label: "format_col_ids",
+            },
+            c.m,
+        );
         // 2. el[e] = al[src[e]]
-        self.launch_flat(op, &GatherKernel { ids: c.coo.src, table: al, out: el, len: c.m, label: "gather_el" }, c.m);
+        self.launch_flat(
+            op,
+            &GatherKernel {
+                ids: c.coo.src,
+                table: al,
+                out: el,
+                len: c.m,
+                label: "gather_el",
+            },
+            c.m,
+        );
         // 3. er[e] = ar[dst[e]]
-        self.launch_flat(op, &GatherKernel { ids: c.coo.dst, table: ar, out: er, len: c.m, label: "gather_er" }, c.m);
+        self.launch_flat(
+            op,
+            &GatherKernel {
+                ids: c.coo.dst,
+                table: ar,
+                out: er,
+                len: c.m,
+                label: "gather_er",
+            },
+            c.m,
+        );
         // 4. s = el + er
-        self.launch_flat(op, &AddKernel { a: el, b: er, out: s, len: c.m }, c.m);
+        self.launch_flat(
+            op,
+            &AddKernel {
+                a: el,
+                b: er,
+                out: s,
+                len: c.m,
+            },
+            c.m,
+        );
         // 5. s = leaky(s)
-        self.launch_flat(op, &EdgeUnaryKernel { data: s, op: EdgeUnaryOp::Leaky(params.slope), len: c.m }, c.m);
+        self.launch_flat(
+            op,
+            &EdgeUnaryKernel {
+                data: s,
+                op: EdgeUnaryOp::Leaky(params.slope),
+                len: c.m,
+            },
+            c.m,
+        );
         // 6. rowv = rowmax(s)
-        self.launch_rows(op, &RowReduceKernel { indptr: c.indptr, data: s, out: rowv, n: c.n, op: RowReduceOp::Max }, c.n);
+        self.launch_rows(
+            op,
+            &RowReduceKernel {
+                indptr: c.indptr,
+                data: s,
+                out: rowv,
+                n: c.n,
+                op: RowReduceOp::Max,
+            },
+            c.n,
+        );
         // 7. s -= rowv[dst]
-        self.launch_flat(op, &EdgeRowBinaryKernel { data: s, table: rowv, dst: c.coo.dst, len: c.m, op: EdgeRowBinaryOp::Sub }, c.m);
+        self.launch_flat(
+            op,
+            &EdgeRowBinaryKernel {
+                data: s,
+                table: rowv,
+                dst: c.coo.dst,
+                len: c.m,
+                op: EdgeRowBinaryOp::Sub,
+            },
+            c.m,
+        );
         // 8. s = exp(s)
-        self.launch_flat(op, &EdgeUnaryKernel { data: s, op: EdgeUnaryOp::Exp, len: c.m }, c.m);
+        self.launch_flat(
+            op,
+            &EdgeUnaryKernel {
+                data: s,
+                op: EdgeUnaryOp::Exp,
+                len: c.m,
+            },
+            c.m,
+        );
         // 9. rowv = rowsum(s)
-        self.launch_rows(op, &RowReduceKernel { indptr: c.indptr, data: s, out: rowv, n: c.n, op: RowReduceOp::Sum }, c.n);
+        self.launch_rows(
+            op,
+            &RowReduceKernel {
+                indptr: c.indptr,
+                data: s,
+                out: rowv,
+                n: c.n,
+                op: RowReduceOp::Sum,
+            },
+            c.n,
+        );
         // 10. s /= rowv[dst]
-        self.launch_flat(op, &EdgeRowBinaryKernel { data: s, table: rowv, dst: c.coo.dst, len: c.m, op: EdgeRowBinaryOp::Div }, c.m);
+        self.launch_flat(
+            op,
+            &EdgeRowBinaryKernel {
+                data: s,
+                table: rowv,
+                dst: c.coo.dst,
+                len: c.m,
+                op: EdgeRowBinaryOp::Div,
+            },
+            c.m,
+        );
         // 11. format: copy the attention weights for the sparse handle
-        self.launch_flat(op, &ScaleCopyKernel { src: s, dst: w2, scale: 1.0, len: c.m, label: "format_values" }, c.m);
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: s,
+                dst: w2,
+                scale: 1.0,
+                len: c.m,
+                label: "format_values",
+            },
+            c.m,
+        );
         // 12. format: copy input
-        self.launch_flat(op, &ScaleCopyKernel { src: c.x, dst: x2, scale: 1.0, len: c.n * c.f, label: "format_input" }, c.n * c.f);
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: c.x,
+                dst: x2,
+                scale: 1.0,
+                len: c.n * c.f,
+                label: "format_input",
+            },
+            c.n * c.f,
+        );
         // 13. SpMM with attention weights
-        self.launch_rows(op, &SpmmCsrKernel { indptr: c.indptr, indices: col_ids, values: w2, x: x2, out: tmp, n: c.n, f: c.f }, c.n);
+        self.launch_rows(
+            op,
+            &SpmmCsrKernel {
+                indptr: c.indptr,
+                indices: col_ids,
+                values: w2,
+                x: x2,
+                out: tmp,
+                n: c.n,
+                f: c.f,
+            },
+            c.n,
+        );
         // 14.–18. framework epilogue: casts/copies of scores and output.
-        self.launch_flat(op, &ScaleCopyKernel { src: tmp, dst: c.out, scale: 1.0, len: c.n * c.f, label: "format_cast" }, c.n * c.f);
-        self.launch_flat(op, &ScaleCopyKernel { src: el, dst: er, scale: 1.0, len: c.m, label: "save_edge_scores" }, c.m);
-        self.launch_flat(op, &ScaleCopyKernel { src: s, dst: el, scale: 1.0, len: c.m, label: "save_attention" }, c.m);
-        self.launch_flat(op, &CopyU32Kernel { src: c.coo.dst, dst: col_ids, len: c.m, label: "format_row_ids" }, c.m);
-        self.launch_flat(op, &ScaleCopyKernel { src: c.out, dst: c.out, scale: 1.0, len: c.n * c.f, label: "format_output" }, c.n * c.f);
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: tmp,
+                dst: c.out,
+                scale: 1.0,
+                len: c.n * c.f,
+                label: "format_cast",
+            },
+            c.n * c.f,
+        );
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: el,
+                dst: er,
+                scale: 1.0,
+                len: c.m,
+                label: "save_edge_scores",
+            },
+            c.m,
+        );
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: s,
+                dst: el,
+                scale: 1.0,
+                len: c.m,
+                label: "save_attention",
+            },
+            c.m,
+        );
+        self.launch_flat(
+            op,
+            &CopyU32Kernel {
+                src: c.coo.dst,
+                dst: col_ids,
+                len: c.m,
+                label: "format_row_ids",
+            },
+            c.m,
+        );
+        self.launch_flat(
+            op,
+            &ScaleCopyKernel {
+                src: c.out,
+                dst: c.out,
+                scale: 1.0,
+                len: c.n * c.f,
+                label: "format_output",
+            },
+            c.n * c.f,
+        );
 
         let mem = self.device.mem_mut();
         mem.free(al);

@@ -330,9 +330,11 @@ impl FeatGraphSystem {
                     slope: params.slope,
                     m,
                 };
-                op.add(&self
-                    .device
-                    .launch(&k1, LaunchConfig::warp_per_item(m.div_ceil(32).max(1), 256)));
+                op.add(
+                    &self
+                        .device
+                        .launch(&k1, LaunchConfig::warp_per_item(m.div_ceil(32).max(1), 256)),
+                );
                 op.add_framework_overhead_ms(self.dispatch_ms);
                 let k2 = FgSoftmaxKernel { indptr, s, n };
                 op.add(&self.device.launch(&k2, self.rigid_launch(n, 32)));
@@ -418,7 +420,11 @@ mod tests {
                 model.name(),
                 got.max_abs_diff(&want)
             );
-            let want_launches = if matches!(model, GnnModel::Gat { .. }) { 3 } else { 1 };
+            let want_launches = if matches!(model, GnnModel::Gat { .. }) {
+                3
+            } else {
+                1
+            };
             assert_eq!(prof.kernel_launches, want_launches);
         }
     }

@@ -39,4 +39,4 @@ pub use edge_centric::EdgeCentricSystem;
 pub use featgraph::FeatGraphSystem;
 pub use multikernel::ThreeKernelGatSystem;
 pub use push::PushSystem;
-pub use system::{GnnSystem, RunResult, TlpgnnSystem};
+pub use system::{all_systems, GnnSystem, RunResult, TlpgnnSystem};

@@ -82,9 +82,11 @@ impl ThreeKernelGatSystem {
             slope: params.slope,
             m,
         };
-        op.add(&self
-            .device
-            .launch(&k1, LaunchConfig::warp_per_item(m.div_ceil(32).max(1), 256)));
+        op.add(
+            &self
+                .device
+                .launch(&k1, LaunchConfig::warp_per_item(m.div_ceil(32).max(1), 256)),
+        );
         op.add_framework_overhead_ms(self.dispatch_ms);
         // Kernel 2: ApplyVertex — softmax over each row's scores.
         let k2 = FgSoftmaxKernel { indptr, s, n };
@@ -100,9 +102,7 @@ impl ThreeKernelGatSystem {
             n,
             f,
         };
-        op.add(&self
-            .device
-            .launch(&k3, LaunchConfig::warp_per_item(n, 256)));
+        op.add(&self.device.launch(&k3, LaunchConfig::warp_per_item(n, 256)));
         op.add_framework_overhead_ms(self.dispatch_ms);
 
         op.peak_mem_bytes = self.device.mem().peak_bytes();
@@ -153,9 +153,11 @@ impl ThreeKernelGatSystem {
             slope: params.slope,
             m,
         };
-        op.add(&self
-            .device
-            .launch(&k1, LaunchConfig::warp_per_item(m.div_ceil(32).max(1), 256)));
+        op.add(
+            &self
+                .device
+                .launch(&k1, LaunchConfig::warp_per_item(m.div_ceil(32).max(1), 256)),
+        );
         let k2 = FgSoftmaxKernel { indptr, s, n };
         op.add(&self.device.launch(&k2, LaunchConfig::new(n.max(1), 32)));
 
@@ -171,9 +173,7 @@ impl ThreeKernelGatSystem {
                     m,
                     f,
                 };
-                op.add(&self
-                    .device
-                    .launch(&k3, LaunchConfig::warp_per_item(m, 256)));
+                op.add(&self.device.launch(&k3, LaunchConfig::warp_per_item(m, 256)));
             }
             AggMode::WarpVertex {
                 assignment,
@@ -244,7 +244,11 @@ mod tests {
         let mut sys = ThreeKernelGatSystem::new(DeviceConfig::test_small());
         let (got, prof) = sys.run(&params, &g, &x);
         let want = conv_reference(&tlpgnn::GnnModel::Gat { params }, &g, &x);
-        assert!(got.max_abs_diff(&want) < 1e-3, "{}", got.max_abs_diff(&want));
+        assert!(
+            got.max_abs_diff(&want) < 1e-3,
+            "{}",
+            got.max_abs_diff(&want)
+        );
         assert_eq!(prof.kernel_launches, 3);
     }
 
@@ -268,11 +272,19 @@ mod tests {
         let g = generators::rmat_default(130, 1100, 157);
         let x = Matrix::random(130, 32, 1.0, 158);
         let params = GatParams::random(32, 159);
-        let want = conv_reference(&tlpgnn::GnnModel::Gat { params: params.clone() }, &g, &x);
+        let want = conv_reference(
+            &tlpgnn::GnnModel::Gat {
+                params: params.clone(),
+            },
+            &g,
+            &x,
+        );
         let modes = [
             AggMode::EdgeCentricAtomic,
             AggMode::WarpVertex {
-                assignment: Assignment::Hardware { warps_per_block: 32 },
+                assignment: Assignment::Hardware {
+                    warps_per_block: 32,
+                },
                 reg_cache: false,
             },
             AggMode::WarpVertex {

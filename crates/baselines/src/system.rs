@@ -146,6 +146,20 @@ impl GnnSystem for EdgeCentricSystem {
     }
 }
 
+/// Every system under evaluation on the given device, TLPGNN included.
+/// The canonical enumeration for harnesses (experiments, the conformance
+/// fuzzer) that must cover all backends uniformly.
+pub fn all_systems(cfg: DeviceConfig) -> Vec<Box<dyn GnnSystem>> {
+    vec![
+        Box::new(TlpgnnSystem::new(cfg.clone())),
+        Box::new(DglSystem::new(cfg.clone())),
+        Box::new(FeatGraphSystem::new(cfg.clone())),
+        Box::new(AdvisorSystem::new(cfg.clone())),
+        Box::new(PushSystem::new(cfg.clone())),
+        Box::new(EdgeCentricSystem::new(cfg)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,8 +41,8 @@ fn main() {
             let mut sys = AdvisorSystem::new(bench::device_for(spec));
             sys.group_size = gs;
             let (_, p) = sys.run(Aggregator::GcnSum, &g, &x);
-            let groups = g.num_edges() / gs
-                + (0..g.num_vertices()).filter(|&v| g.degree(v) == 0).count();
+            let groups =
+                g.num_edges() / gs + (0..g.num_vertices()).filter(|&v| g.degree(v) == 0).count();
             t.row(vec![
                 gs.to_string(),
                 bench::fmt_ms(p.gpu_time_ms),

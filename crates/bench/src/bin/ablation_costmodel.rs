@@ -77,7 +77,10 @@ fn run_checks(cfg: DeviceConfig) -> Vec<Check> {
         },
         Check {
             holds: p_half.gpu_time_ms < p_one.gpu_time_ms,
-            detail: format!("half {:.3} one {:.3}", p_half.gpu_time_ms, p_one.gpu_time_ms),
+            detail: format!(
+                "half {:.3} one {:.3}",
+                p_half.gpu_time_ms, p_one.gpu_time_ms
+            ),
         },
         Check {
             holds: p_gat_fused.runtime_ms < p_gat_dgl.runtime_ms,
@@ -125,9 +128,21 @@ fn main() {
         all_hold &= checks.iter().all(|c| c.holds);
         t.row(vec![
             name,
-            format!("{} ({})", if checks[0].holds { "yes" } else { "NO" }, checks[0].detail),
-            format!("{} ({})", if checks[1].holds { "yes" } else { "NO" }, checks[1].detail),
-            format!("{} ({})", if checks[2].holds { "yes" } else { "NO" }, checks[2].detail),
+            format!(
+                "{} ({})",
+                if checks[0].holds { "yes" } else { "NO" },
+                checks[0].detail
+            ),
+            format!(
+                "{} ({})",
+                if checks[1].holds { "yes" } else { "NO" },
+                checks[1].detail
+            ),
+            format!(
+                "{} ({})",
+                if checks[2].holds { "yes" } else { "NO" },
+                checks[2].detail
+            ),
         ]);
     }
     t.print();

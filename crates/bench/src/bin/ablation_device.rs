@@ -26,7 +26,10 @@ fn scaled(cfg: DeviceConfig, spec: &tlpgnn_graph::DatasetSpec) -> DeviceConfig {
 fn main() {
     let _telemetry = tlpgnn_bench::telemetry_scope("ablation_device");
     bench::print_header("Ablation: V100-class vs A100-class device");
-    for (dev_name, base) in [("V100", DeviceConfig::v100()), ("A100", DeviceConfig::a100())] {
+    for (dev_name, base) in [
+        ("V100", DeviceConfig::v100()),
+        ("A100", DeviceConfig::a100()),
+    ] {
         let mut t = bench::Table::new(
             format!("{dev_name}: per-op runtime (ms), TLPGNN vs baselines"),
             &["Dataset", "model", "DGL", "FeatG.", "TLPGNN", "TLPGNN wins"],

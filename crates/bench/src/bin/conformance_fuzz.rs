@@ -1,0 +1,89 @@
+//! **Conformance fuzzer** — seeded differential + metamorphic fuzzing of
+//! every convolution backend against the scalar oracle.
+//!
+//! ```text
+//! conformance_fuzz [--seed N] [--iters N] [--corpus DIR] [--no-save]
+//! ```
+//!
+//! Each iteration samples one `(graph generator × model × backend ×
+//! device shape)` tuple and runs the full invariant battery (oracle match
+//! under ULP tolerance, permutation equivariance, repeat/device
+//! determinism, feature linearity, gpu-sim accounting conservation).
+//! Failures are shrunk to minimal form and written into the regression
+//! corpus (default: `crates/conformance/corpus/`), which `cargo test`
+//! replays forever after. Exit code 0 iff every iteration conformed.
+
+use tlpgnn_conformance::{corpus, fuzz_with, Tolerance};
+
+fn main() {
+    let mut seed = 42u64;
+    let mut iters = 200usize;
+    let mut corpus_dir = corpus::corpus_dir();
+    let mut save = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => seed = parse(args.next(), "--seed"),
+            "--iters" => iters = parse(args.next(), "--iters"),
+            "--corpus" => {
+                corpus_dir = args
+                    .next()
+                    .unwrap_or_else(|| usage("--corpus needs a path"))
+                    .into()
+            }
+            "--no-save" => save = false,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    println!("conformance_fuzz: seed {seed}, {iters} iterations");
+    let start = std::time::Instant::now();
+    let report = fuzz_with(seed, iters, &Tolerance::default(), |i, failed| {
+        if (i + 1) % 50 == 0 {
+            println!("  {:>4}/{iters} iterations, {failed} failures", i + 1);
+        }
+    });
+    println!(
+        "ran {} iterations ({} with a supporting backend) in {:.1}s",
+        report.iterations,
+        report.cases_run,
+        start.elapsed().as_secs_f64()
+    );
+
+    if report.failures.is_empty() {
+        println!("PASS: all backends conformant");
+        return;
+    }
+    for case in &report.failures {
+        println!(
+            "FAIL {}: {} [backend {}, n {}, m {}, f {}]",
+            case.name,
+            case.failure.as_deref().unwrap_or("?"),
+            case.backend,
+            case.n,
+            case.edges.len(),
+            case.feat_dim
+        );
+        if save {
+            match corpus::save(&corpus_dir, case) {
+                Ok(path) => println!("  shrunk case written to {}", path.display()),
+                Err(e) => println!("  could not write corpus file: {e}"),
+            }
+        }
+    }
+    std::process::exit(1);
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: conformance_fuzz [--seed N] [--iters N] [--corpus DIR] [--no-save]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

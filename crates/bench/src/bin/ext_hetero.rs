@@ -16,7 +16,10 @@ fn build(n: usize, seed: u64) -> HeteroGraph {
     let mut hg = HeteroGraph::new(n);
     hg.add_relation("cites", generators::rmat_default(n, n * 8, seed));
     hg.add_relation("authored_by", generators::erdos_renyi(n, n * 3, seed + 1));
-    hg.add_relation("same_venue", generators::watts_strogatz(n, 4, 0.1, seed + 2));
+    hg.add_relation(
+        "same_venue",
+        generators::watts_strogatz(n, 4, 0.1, seed + 2),
+    );
     hg
 }
 

@@ -51,7 +51,10 @@ fn main() {
             &["Dataset", "TLP", "+Hybrid", "+Cache"]
         };
         let mut t = bench::Table::new(
-            format!("Figure 10 (reproduced), model {} — cumulative speedup", model.name()),
+            format!(
+                "Figure 10 (reproduced), model {} — cumulative speedup",
+                model.name()
+            ),
             headers,
         );
         let mut final_speedups = Vec::new();
@@ -75,7 +78,9 @@ fn main() {
                     p_cache.gpu_time_ms,
                 ]
             } else {
-                let GnnModel::Gat { params } = &model else { unreachable!() };
+                let GnnModel::Gat { params } = &model else {
+                    unreachable!()
+                };
                 let mut sys = ThreeKernelGatSystem::new(bench::device_for(spec));
                 let (_, p_base) = sys.run_mode(params, &g, &x, AggMode::EdgeCentricAtomic);
                 let (_, p_tlp) = sys.run_mode(
@@ -83,7 +88,9 @@ fn main() {
                     &g,
                     &x,
                     AggMode::WarpVertex {
-                        assignment: tlpgnn::Assignment::Hardware { warps_per_block: 32 },
+                        assignment: tlpgnn::Assignment::Hardware {
+                            warps_per_block: 32,
+                        },
                         reg_cache: false,
                     },
                 );

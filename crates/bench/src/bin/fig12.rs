@@ -23,9 +23,7 @@ fn main() {
         headers.extend(SIZES.iter().map(|s| s.to_string()));
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut t = bench::Table::new(
-            format!(
-                "Figure 12 (reproduced), {model_name} — runtime normalized to feature 16"
-            ),
+            format!("Figure 12 (reproduced), {model_name} — runtime normalized to feature 16"),
             &header_refs,
         );
         let mut at_512 = Vec::new();

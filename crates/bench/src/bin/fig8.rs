@@ -19,9 +19,13 @@ fn main() {
     for spec in datasets::advisor_seven() {
         let g = bench::load(spec);
         let x = bench::features(&g, 32, 0x7ab8e);
-        let (_, p_gcn) = AdvisorSystem::new(bench::device_for(spec)).run(Aggregator::GcnSum, &g, &x);
-        let (_, p_gin) = AdvisorSystem::new(bench::device_for(spec))
-            .run(Aggregator::GinSum { eps: 0.1 }, &g, &x);
+        let (_, p_gcn) =
+            AdvisorSystem::new(bench::device_for(spec)).run(Aggregator::GcnSum, &g, &x);
+        let (_, p_gin) = AdvisorSystem::new(bench::device_for(spec)).run(
+            Aggregator::GinSum { eps: 0.1 },
+            &g,
+            &x,
+        );
         t.row(vec![
             spec.abbr.to_string(),
             format!("{:.2}", p_gcn.atomic_bytes as f64 / 1e6),

@@ -21,9 +21,14 @@ fn main() {
     for spec in DATASETS {
         let g = bench::load(spec);
         let x = bench::features(&g, 32, 0x7ab9e);
-        let fg = GnnSystem::run(&mut FeatGraphSystem::new(bench::device_for(spec)), &GnnModel::Gcn, &g, &x)
-            .unwrap()
-            .profile;
+        let fg = GnnSystem::run(
+            &mut FeatGraphSystem::new(bench::device_for(spec)),
+            &GnnModel::Gcn,
+            &g,
+            &x,
+        )
+        .unwrap()
+        .profile;
         let tlp = GnnSystem::run(
             &mut TlpgnnSystem::with_scaled_heuristic(
                 bench::device_for(spec),

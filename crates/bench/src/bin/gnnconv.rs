@@ -180,7 +180,12 @@ fn main() {
         );
     } else {
         println!("graph   : {name} ({})", tlpgnn_graph::GraphStats::of(&g));
-        println!("system  : {} | model {} | feature {}", system.name(), model.name(), a.feat);
+        println!(
+            "system  : {} | model {} | feature {}",
+            system.name(),
+            model.name(),
+            a.feat
+        );
         println!("{p}");
         println!("verified against serial oracle (max diff {diff:.2e})");
     }

@@ -142,12 +142,18 @@ fn main() {
         gate.check(
             "T2 coalescing >=3x",
             p_one.gpu_time_ms > 3.0 * p_half.gpu_time_ms,
-            format!("one {:.3} half {:.3} ms", p_one.gpu_time_ms, p_half.gpu_time_ms),
+            format!(
+                "one {:.3} half {:.3} ms",
+                p_one.gpu_time_ms, p_half.gpu_time_ms
+            ),
         );
         gate.check(
             "T2 sectors/request ordering",
             p_one.sectors_per_request > 2.0 * p_half.sectors_per_request,
-            format!("{:.1} vs {:.1}", p_one.sectors_per_request, p_half.sectors_per_request),
+            format!(
+                "{:.1} vs {:.1}",
+                p_one.sectors_per_request, p_half.sectors_per_request
+            ),
         );
     }
 
@@ -243,16 +249,28 @@ fn main() {
             let spec = datasets::by_abbr(abbr).unwrap();
             let g = spec.load_scaled(GATE_SCALE);
             let x = Matrix::random(g.num_vertices(), FEAT, 1.0, 5);
-            occ_tlp += engine_for(spec).conv(&GnnModel::Gcn, &g, &x).1.achieved_occupancy;
-            occ_fg += GnnSystem::run(&mut FeatGraphSystem::new(dev_for(spec)), &GnnModel::Gcn, &g, &x)
-                .unwrap()
-                .profile
+            occ_tlp += engine_for(spec)
+                .conv(&GnnModel::Gcn, &g, &x)
+                .1
                 .achieved_occupancy;
+            occ_fg += GnnSystem::run(
+                &mut FeatGraphSystem::new(dev_for(spec)),
+                &GnnModel::Gcn,
+                &g,
+                &x,
+            )
+            .unwrap()
+            .profile
+            .achieved_occupancy;
         }
         gate.check(
             "F9 occupancy ordering",
             occ_tlp > occ_fg,
-            format!("tlpgnn {:.1}% vs featgraph {:.1}%", occ_tlp / 3.0 * 100.0, occ_fg / 3.0 * 100.0),
+            format!(
+                "tlpgnn {:.1}% vs featgraph {:.1}%",
+                occ_tlp / 3.0 * 100.0,
+                occ_fg / 3.0 * 100.0
+            ),
         );
     }
 
@@ -285,8 +303,14 @@ fn main() {
         let g = spec.synthesize(spec.default_scale);
         let x = Matrix::random(g.num_vertices(), FEAT, 1.0, 7);
         let mut e = TlpgnnEngine::new(DeviceConfig::v100(), EngineOptions::default());
-        let t1 = e.conv_with_grid(&GnnModel::Gcn, &g, &x, 1, 512).1.gpu_time_ms;
-        let t64 = e.conv_with_grid(&GnnModel::Gcn, &g, &x, 64, 512).1.gpu_time_ms;
+        let t1 = e
+            .conv_with_grid(&GnnModel::Gcn, &g, &x, 1, 512)
+            .1
+            .gpu_time_ms;
+        let t64 = e
+            .conv_with_grid(&GnnModel::Gcn, &g, &x, 64, 512)
+            .1
+            .gpu_time_ms;
         gate.check(
             "F11 thread scaling",
             t1 / t64 >= 8.0,

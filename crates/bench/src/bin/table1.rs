@@ -44,21 +44,20 @@ fn main() {
 
     let mut t = bench::Table::new(
         "Table 1 (reproduced): GCN graph convolution on OH, feature 128",
-        &[
-            "Metric",
-            "Push",
-            "Edge",
-            "GnnA.",
-            "Pull",
-        ],
+        &["Metric", "Push", "Edge", "GnnA.", "Pull"],
     );
-    let metric =
-        |name: &str, f: &dyn Fn(&gpu_sim::OpProfile) -> String, rows: &[(String, gpu_sim::OpProfile)]| {
-            let mut cells = vec![name.to_string()];
-            cells.extend(rows.iter().map(|(_, p)| f(p)));
-            cells
-        };
-    t.row(metric("Runtime (ms)", &|p| bench::fmt_ms(p.gpu_time_ms), &rows));
+    let metric = |name: &str,
+                  f: &dyn Fn(&gpu_sim::OpProfile) -> String,
+                  rows: &[(String, gpu_sim::OpProfile)]| {
+        let mut cells = vec![name.to_string()];
+        cells.extend(rows.iter().map(|(_, p)| f(p)));
+        cells
+    };
+    t.row(metric(
+        "Runtime (ms)",
+        &|p| bench::fmt_ms(p.gpu_time_ms),
+        &rows,
+    ));
     t.row(metric(
         "Mem load traffics (MB)",
         &|p| format!("{:.1}", p.load_bytes as f64 / 1e6),

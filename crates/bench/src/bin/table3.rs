@@ -38,7 +38,11 @@ fn main() {
     );
     let (_, p_one) = engine.conv(&model, &g, &x);
 
-    let rows = [("DGL", &p_dgl), ("Three-Kernel", &p_three), ("One-Kernel", &p_one)];
+    let rows = [
+        ("DGL", &p_dgl),
+        ("Three-Kernel", &p_three),
+        ("One-Kernel", &p_one),
+    ];
     let mut t = bench::Table::new(
         "Table 3 (reproduced): GAT graph convolution on RD, feature 32",
         &["Metric", "DGL", "Three-Kernel", "One-Kernel"],
@@ -48,7 +52,9 @@ fn main() {
         cells.extend(rows.iter().map(|(_, p)| f(p)));
         cells
     };
-    t.row(metric("GPU Kernel launch", &|p| p.kernel_launches.to_string()));
+    t.row(metric("GPU Kernel launch", &|p| {
+        p.kernel_launches.to_string()
+    }));
     t.row(metric("Runtime (ms)", &|p| bench::fmt_ms(p.runtime_ms)));
     t.row(metric("GPU time (ms)", &|p| bench::fmt_ms(p.gpu_time_ms)));
     t.row(metric("Runtime - GPU time (ms)", &|p| {

@@ -20,7 +20,7 @@ const ADVISOR_SKIP: &[&str] = &["CL", "ON", "RD", "OT"];
 fn main() {
     let _telemetry = tlpgnn_bench::telemetry_scope("table5");
     bench::print_header("Table 5: main comparison, feature 32");
-    
+
     let mut summary: Vec<(String, f64)> = Vec::new();
 
     for model in GnnModel::all_four(FEAT) {
@@ -36,15 +36,24 @@ fn main() {
 
             let dgl = GnnSystem::run(&mut DglSystem::new(bench::device_for(spec)), &model, &g, &x)
                 .map(|r| r.profile.runtime_ms);
-            let advisor = if ADVISOR_SKIP.contains(&spec.abbr) || !AdvisorSystem::supports(&model)
-            {
+            let advisor = if ADVISOR_SKIP.contains(&spec.abbr) || !AdvisorSystem::supports(&model) {
                 None
             } else {
-                GnnSystem::run(&mut AdvisorSystem::new(bench::device_for(spec)), &model, &g, &x)
-                    .map(|r| r.profile.runtime_ms)
+                GnnSystem::run(
+                    &mut AdvisorSystem::new(bench::device_for(spec)),
+                    &model,
+                    &g,
+                    &x,
+                )
+                .map(|r| r.profile.runtime_ms)
             };
-            let featg = GnnSystem::run(&mut FeatGraphSystem::new(bench::device_for(spec)), &model, &g, &x)
-                .map(|r| r.profile.runtime_ms);
+            let featg = GnnSystem::run(
+                &mut FeatGraphSystem::new(bench::device_for(spec)),
+                &model,
+                &g,
+                &x,
+            )
+            .map(|r| r.profile.runtime_ms);
             let tlp = GnnSystem::run(
                 &mut TlpgnnSystem::with_scaled_heuristic(bench::device_for(spec), scale),
                 &model,
@@ -72,7 +81,10 @@ fn main() {
         }
         t.print();
         let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
-        println!("average speedup over best baseline ({}): {avg:.1}x", model.name());
+        println!(
+            "average speedup over best baseline ({}): {avg:.1}x",
+            model.name()
+        );
         summary.push((model.name().to_string(), avg));
     }
 

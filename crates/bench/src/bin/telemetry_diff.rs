@@ -75,7 +75,10 @@ fn main() {
         );
     }
     if regressions.is_empty() {
-        println!("OK: no watched metric moved more than {:.1}%", threshold * 100.0);
+        println!(
+            "OK: no watched metric moved more than {:.1}%",
+            threshold * 100.0
+        );
     } else {
         println!(
             "FAIL: {} metric(s) moved more than {:.1}%",

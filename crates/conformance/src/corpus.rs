@@ -1,0 +1,97 @@
+//! The on-disk regression corpus.
+//!
+//! Every shrunk fuzz failure is serialized to
+//! `crates/conformance/corpus/<name>.json` and replayed forever after as
+//! part of `cargo test` (see `tests/regression_corpus.rs`). A corpus file
+//! records the bug's *trigger*; once the bug is fixed the case must pass,
+//! and the file stays to keep it fixed.
+
+use std::path::{Path, PathBuf};
+
+use crate::case::TestCase;
+
+/// The checked-in corpus directory.
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Load every case from a corpus directory, sorted by filename for a
+/// stable replay order. Non-`.json` entries are ignored; unparsable files
+/// are an error (a corrupt corpus must not silently shrink).
+pub fn load_dir(dir: &Path) -> Result<Vec<TestCase>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            TestCase::from_json(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+        })
+        .collect()
+}
+
+/// Write a case into a corpus directory as `<name>.json`. Returns the
+/// path written.
+pub fn save(dir: &Path, case: &TestCase) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let slug: String = case
+        .name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = dir.join(format!("{slug}.json"));
+    std::fs::write(&path, case.to_json())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::ModelSpec;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("tlpgnn-conformance-corpus-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let case = TestCase {
+            name: "unit/roundtrip case".into(),
+            n: 3,
+            edges: vec![(0, 1), (2, 2)],
+            feat_dim: 4,
+            feature_seed: 9,
+            model: ModelSpec::Sage,
+            backend: "cta_per_vertex".into(),
+            sms: 4,
+            failure: Some("unit test".into()),
+        };
+        let path = save(&dir, &case).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("unit_roundtrip"));
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].edges, case.edges);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checked_in_corpus_parses() {
+        let cases = load_dir(&corpus_dir()).unwrap();
+        assert!(!cases.is_empty(), "corpus must ship at least one case");
+    }
+}

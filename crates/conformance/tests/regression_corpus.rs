@@ -1,0 +1,39 @@
+//! Replay of the checked-in regression corpus.
+//!
+//! Every file under `crates/conformance/corpus/` is a shrunk case that
+//! once exposed a bug (or a handwritten seed). After the bug is fixed the
+//! case must pass the full invariant battery forever; this test is what
+//! keeps it fixed.
+
+use tlpgnn_conformance::{check_case, corpus, Backend, Tolerance};
+
+#[test]
+fn corpus_cases_resolve_to_known_backends() {
+    let cases = corpus::load_dir(&corpus::corpus_dir()).expect("corpus loads");
+    assert!(!cases.is_empty(), "corpus must hold at least one case");
+    for case in &cases {
+        assert!(
+            Backend::by_label(&case.backend).is_some(),
+            "corpus case {} names unknown backend `{}`",
+            case.name,
+            case.backend
+        );
+    }
+}
+
+#[test]
+fn corpus_replays_clean() {
+    let tol = Tolerance::default();
+    let cases = corpus::load_dir(&corpus::corpus_dir()).expect("corpus loads");
+    for case in cases {
+        if let Err(why) = check_case(&case, &tol) {
+            panic!(
+                "regression: corpus case `{}` fails again ({why}); original failure: {}",
+                case.name,
+                case.failure
+                    .as_deref()
+                    .unwrap_or("handwritten seed, never failed")
+            );
+        }
+    }
+}

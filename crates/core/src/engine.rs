@@ -83,9 +83,11 @@ impl TlpgnnEngine {
     /// Pick the workload assignment for a graph per the hybrid heuristic
     /// (or the forced override).
     pub fn assignment_for(&self, g: &Csr) -> Assignment {
-        self.options
-            .force_assignment
-            .unwrap_or_else(|| self.options.heuristic.choose(g.num_vertices(), g.avg_degree()))
+        self.options.force_assignment.unwrap_or_else(|| {
+            self.options
+                .heuristic
+                .choose(g.num_vertices(), g.avg_degree())
+        })
     }
 
     /// Run one graph convolution, returning the aggregated features and
@@ -494,7 +496,11 @@ mod tests {
         let mut e = engine();
         let (got, op) = e.classify_forward(&net, &g, &x);
         let want = net.forward_with(&x, |m, h| conv_reference(m, &g, h));
-        assert!(got.max_abs_diff(&want) < 1e-3, "{}", got.max_abs_diff(&want));
+        assert!(
+            got.max_abs_diff(&want) < 1e-3,
+            "{}",
+            got.max_abs_diff(&want)
+        );
         assert_eq!(op.kernel_launches, 2 * 2 + 1);
     }
 
@@ -571,8 +577,14 @@ mod tests {
             assert_eq!(p.kernel_launches, 1);
         }
         // More blocks never slower (monotone non-increasing, small jitter).
-        let t1 = e.conv_with_grid(&GnnModel::Gcn, &g, &x, 1, 512).1.gpu_time_ms;
-        let t16 = e.conv_with_grid(&GnnModel::Gcn, &g, &x, 16, 512).1.gpu_time_ms;
+        let t1 = e
+            .conv_with_grid(&GnnModel::Gcn, &g, &x, 1, 512)
+            .1
+            .gpu_time_ms;
+        let t16 = e
+            .conv_with_grid(&GnnModel::Gcn, &g, &x, 16, 512)
+            .1
+            .gpu_time_ms;
         assert!(t16 < t1);
     }
 

@@ -365,7 +365,11 @@ mod tests {
         let want = hg.conv_reference(&x);
         let mut e = HeteroEngine::new(DeviceConfig::test_small());
         let (got, prof) = e.conv_fused(&hg, &x);
-        assert!(got.max_abs_diff(&want) < 1e-3, "{}", got.max_abs_diff(&want));
+        assert!(
+            got.max_abs_diff(&want) < 1e-3,
+            "{}",
+            got.max_abs_diff(&want)
+        );
         assert_eq!(prof.kernel_launches, 1);
     }
 

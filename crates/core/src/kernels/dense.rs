@@ -199,10 +199,7 @@ impl Kernel for RowLogSoftmaxKernel {
 }
 
 /// Run a row log-softmax on the device, in place over a host matrix.
-pub fn log_softmax_on_device(
-    dev: &mut Device,
-    x: &Matrix,
-) -> (Matrix, gpu_sim::KernelProfile) {
+pub fn log_softmax_on_device(dev: &mut Device, x: &Matrix) -> (Matrix, gpu_sim::KernelProfile) {
     let (rows, cols) = x.shape();
     let data = dev.mem_mut().alloc_from(x.data());
     let k = RowLogSoftmaxKernel { data, rows, cols };
@@ -225,7 +222,11 @@ mod tests {
         let mut dev = Device::new(DeviceConfig::test_small());
         let (got, p) = dense_forward_on_device(&mut dev, &layer, &x, false);
         let want = layer.forward(&x);
-        assert!(got.max_abs_diff(&want) < 1e-3, "{}", got.max_abs_diff(&want));
+        assert!(
+            got.max_abs_diff(&want) < 1e-3,
+            "{}",
+            got.max_abs_diff(&want)
+        );
         assert_eq!(p.atomic_requests, 0);
     }
 
@@ -256,7 +257,11 @@ mod tests {
         let (got, p) = log_softmax_on_device(&mut dev, &x);
         let mut want = x.clone();
         activations::log_softmax_rows(&mut want);
-        assert!(got.max_abs_diff(&want) < 1e-3, "{}", got.max_abs_diff(&want));
+        assert!(
+            got.max_abs_diff(&want) < 1e-3,
+            "{}",
+            got.max_abs_diff(&want)
+        );
         assert_eq!(p.atomic_requests, 0);
         // Rows exponentiate to probability vectors.
         for r in 0..60 {

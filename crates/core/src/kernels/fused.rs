@@ -293,8 +293,14 @@ mod tests {
         let x = Matrix::random(100, 32, 1.0, 14);
         let gd = GraphOnDevice::upload(&mut dev, &g, &x);
         let k = FusedConvKernel::new(gd, Aggregator::GcnSum, WorkSource::Hardware, true);
-        let p = dev.launch(&k, Assignment::hardware().launch_config(gd.n, dev.cfg(), 48));
-        assert_eq!(p.atomic_requests, 0, "vertex parallelism must be atomic-free");
+        let p = dev.launch(
+            &k,
+            Assignment::hardware().launch_config(gd.n, dev.cfg(), 48),
+        );
+        assert_eq!(
+            p.atomic_requests, 0,
+            "vertex parallelism must be atomic-free"
+        );
         assert_eq!(p.atomic_bytes, 0);
     }
 
@@ -306,12 +312,22 @@ mod tests {
         let gd = GraphOnDevice::upload(&mut dev, &g, &x);
         let lc = Assignment::hardware().launch_config(gd.n, dev.cfg(), 48);
         let cached = dev.launch(
-            &FusedConvKernel::new(gd, Aggregator::GinSum { eps: 0.0 }, WorkSource::Hardware, true),
+            &FusedConvKernel::new(
+                gd,
+                Aggregator::GinSum { eps: 0.0 },
+                WorkSource::Hardware,
+                true,
+            ),
             lc,
         );
         gd.clear_output(&dev);
         let uncached = dev.launch(
-            &FusedConvKernel::new(gd, Aggregator::GinSum { eps: 0.0 }, WorkSource::Hardware, false),
+            &FusedConvKernel::new(
+                gd,
+                Aggregator::GinSum { eps: 0.0 },
+                WorkSource::Hardware,
+                false,
+            ),
             lc,
         );
         assert!(uncached.store_bytes > 2 * cached.store_bytes);

@@ -467,7 +467,10 @@ mod tests {
         let scores = GatScoresOnDevice::upload(&mut dev, &x, &params);
         let k = FusedGatKernel::new(gd, scores, WorkSource::Hardware, true);
         let before = dev.launches();
-        let p = dev.launch(&k, Assignment::hardware().launch_config(gd.n, dev.cfg(), 56));
+        let p = dev.launch(
+            &k,
+            Assignment::hardware().launch_config(gd.n, dev.cfg(), 56),
+        );
         assert_eq!(dev.launches() - before, 1);
         assert_eq!(p.atomic_requests, 0);
     }

@@ -34,6 +34,17 @@ pub enum Aggregator {
 }
 
 impl Aggregator {
+    /// The aggregator implementing a sum-family model, or `None` for GAT
+    /// (whose softmax needs the dedicated two-pass kernel).
+    pub fn of_model(model: &crate::model::GnnModel) -> Option<Aggregator> {
+        match model {
+            crate::model::GnnModel::Gcn => Some(Aggregator::GcnSum),
+            crate::model::GnnModel::Gin { eps } => Some(Aggregator::GinSum { eps: *eps }),
+            crate::model::GnnModel::Sage => Some(Aggregator::SageMean),
+            crate::model::GnnModel::Gat { .. } => None,
+        }
+    }
+
     /// Short name for kernel labels.
     pub fn name(&self) -> &'static str {
         match self {
@@ -164,7 +175,11 @@ mod tests {
         }
     }
 
-    fn coverage(work_of: impl Fn(DeviceBuffer<u32>, usize) -> WorkSource, lc: LaunchConfig, n: usize) {
+    fn coverage(
+        work_of: impl Fn(DeviceBuffer<u32>, usize) -> WorkSource,
+        lc: LaunchConfig,
+        n: usize,
+    ) {
         let mut dev = Device::new(DeviceConfig::test_small());
         let counts = dev.mem_mut().alloc::<f32>(n);
         let cursor = dev.mem_mut().alloc::<u32>(1);

@@ -17,10 +17,111 @@
 //! All variants compute the same sum-family aggregations as the fused
 //! kernel and are oracle-checked; only their performance differs.
 
-use gpu_sim::{Kernel, WarpCtx, WARP_SIZE};
+use gpu_sim::{Device, Kernel, KernelProfile, LaunchConfig, WarpCtx, WARP_SIZE};
+use tlpgnn_graph::Csr;
+use tlpgnn_tensor::Matrix;
 
 use super::Aggregator;
 use crate::gpu::GraphOnDevice;
+
+/// An enumerable handle over every design-space kernel in this module,
+/// so harnesses (benchmarks, the conformance fuzzer) can sweep the whole
+/// variant space without naming concrete kernel types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// [`ThreadPerVertexKernel`].
+    ThreadPerVertex,
+    /// [`SubWarpKernel`] with the given group width (must divide 32).
+    SubWarp {
+        /// Threads cooperating on one vertex.
+        lanes_per_vertex: usize,
+    },
+    /// [`CtaPerVertexKernel`].
+    CtaPerVertex,
+    /// [`EdgeParallelSecondKernel`].
+    EdgeParallelSecond,
+}
+
+impl KernelVariant {
+    /// Every variant the paper profiles, including both sub-warp widths
+    /// from Table 2 (quarter and half warp).
+    pub fn all() -> Vec<KernelVariant> {
+        vec![
+            KernelVariant::ThreadPerVertex,
+            KernelVariant::SubWarp {
+                lanes_per_vertex: 8,
+            },
+            KernelVariant::SubWarp {
+                lanes_per_vertex: 16,
+            },
+            KernelVariant::CtaPerVertex,
+            KernelVariant::EdgeParallelSecond,
+        ]
+    }
+
+    /// Stable human-readable label (used in corpus files and reports).
+    pub fn label(&self) -> String {
+        match self {
+            KernelVariant::ThreadPerVertex => "thread_per_vertex".into(),
+            KernelVariant::SubWarp { lanes_per_vertex } => {
+                format!("sub_warp_{lanes_per_vertex}")
+            }
+            KernelVariant::CtaPerVertex => "cta_per_vertex".into(),
+            KernelVariant::EdgeParallelSecond => "edge_parallel_second".into(),
+        }
+    }
+
+    /// Parse a [`label`](Self::label) back into a variant.
+    pub fn from_label(label: &str) -> Option<KernelVariant> {
+        Self::all().into_iter().find(|v| v.label() == label)
+    }
+
+    /// Construct the kernel for a device-resident graph.
+    pub fn build(&self, gd: GraphOnDevice, agg: Aggregator) -> Box<dyn Kernel> {
+        match *self {
+            KernelVariant::ThreadPerVertex => Box::new(ThreadPerVertexKernel { gd, agg }),
+            KernelVariant::SubWarp { lanes_per_vertex } => Box::new(SubWarpKernel {
+                gd,
+                agg,
+                lanes_per_vertex,
+            }),
+            KernelVariant::CtaPerVertex => Box::new(CtaPerVertexKernel { gd, agg }),
+            KernelVariant::EdgeParallelSecond => Box::new(EdgeParallelSecondKernel { gd, agg }),
+        }
+    }
+
+    /// The launch geometry each variant's mapping requires.
+    pub fn launch_config(&self, gd: &GraphOnDevice) -> LaunchConfig {
+        match *self {
+            KernelVariant::ThreadPerVertex => {
+                LaunchConfig::warp_per_item(gd.n.div_ceil(WARP_SIZE), 128)
+            }
+            KernelVariant::SubWarp { lanes_per_vertex } => {
+                let groups = WARP_SIZE / lanes_per_vertex;
+                LaunchConfig::warp_per_item(gd.n.div_ceil(groups), 128)
+            }
+            KernelVariant::CtaPerVertex => LaunchConfig::new(gd.n, 128),
+            KernelVariant::EdgeParallelSecond => LaunchConfig::warp_per_item(gd.n, 128),
+        }
+    }
+
+    /// Upload `g`/`x`, launch this variant, read back the result, and free
+    /// the device buffers. One-call convenience for sweeps and fuzzing.
+    pub fn run(
+        &self,
+        dev: &mut Device,
+        g: &Csr,
+        x: &Matrix,
+        agg: Aggregator,
+    ) -> (Matrix, KernelProfile) {
+        let gd = GraphOnDevice::upload(dev, g, x);
+        let kernel = self.build(gd, agg);
+        let profile = dev.launch(kernel.as_ref(), self.launch_config(&gd));
+        let out = gd.read_output(dev);
+        gd.free(dev);
+        (out, profile)
+    }
+}
 
 /// Per-edge scale factor for an aggregator (1 for GIN, `c_u c_v` for GCN,
 /// `1/deg` for Sage mean).
@@ -86,8 +187,7 @@ impl Kernel for ThreadPerVertexKernel {
         // (branch divergence).
         for step in 0..max_deg {
             let lane_active = |lane: usize| {
-                lane_vertex(lane)
-                    .filter(|_| starts[lane] as usize + step < ends[lane] as usize)
+                lane_vertex(lane).filter(|_| starts[lane] as usize + step < ends[lane] as usize)
             };
             let active = (0..WARP_SIZE).filter(|&l| lane_active(l).is_some()).count();
             // Scattered index loads: each lane reads from its own row.
@@ -100,9 +200,13 @@ impl Kernel for ThreadPerVertexKernel {
                     std::array::from_fn(|l| nu[l] * norms[l])
                 }
                 Aggregator::GinSum { .. } => [1.0; WARP_SIZE],
-                Aggregator::SageMean => {
-                    std::array::from_fn(|l| if degs[l] == 0 { 0.0 } else { 1.0 / degs[l] as f32 })
-                }
+                Aggregator::SageMean => std::array::from_fn(|l| {
+                    if degs[l] == 0 {
+                        0.0
+                    } else {
+                        1.0 / degs[l] as f32
+                    }
+                }),
             };
             // Feature loop: every lane reads dimension d of a *different*
             // vertex — one sector per lane, the uncoalesced pattern of
@@ -173,16 +277,22 @@ impl Kernel for SubWarpKernel {
             (v < n).then_some(v)
         };
         // One request covering the bounds of all groups' vertices.
-        let starts = w.ld(gd.indptr, |lane| (lane < groups).then(|| base + lane).filter(|&v| v < n));
+        let starts = w.ld(gd.indptr, |lane| {
+            (lane < groups).then(|| base + lane).filter(|&v| v < n)
+        });
         let ends = w.ld(gd.indptr, |lane| {
             (lane < groups).then(|| base + lane + 1).filter(|&v| v <= n)
         });
         let norms = match self.agg {
-            Aggregator::GcnSum => w.ld(gd.norm, |lane| (lane < groups).then(|| base + lane).filter(|&v| v < n)),
+            Aggregator::GcnSum => w.ld(gd.norm, |lane| {
+                (lane < groups).then(|| base + lane).filter(|&v| v < n)
+            }),
             _ => [0.0; WARP_SIZE],
         };
         let degs = match self.agg {
-            Aggregator::SageMean => w.ld(gd.degree, |lane| (lane < groups).then(|| base + lane).filter(|&v| v < n)),
+            Aggregator::SageMean => w.ld(gd.degree, |lane| {
+                (lane < groups).then(|| base + lane).filter(|&v| v < n)
+            }),
             _ => [0u32; WARP_SIZE],
         };
         let max_deg = (0..groups)
@@ -193,9 +303,8 @@ impl Kernel for SubWarpKernel {
         let mut acc = vec![0.0f32; WARP_SIZE * tiles];
 
         for step in 0..max_deg {
-            let group_active = |g: usize| {
-                group_vertex(g).filter(|_| starts[g] as usize + step < ends[g] as usize)
-            };
+            let group_active =
+                |g: usize| group_vertex(g).filter(|_| starts[g] as usize + step < ends[g] as usize);
             let us = w.ld(gd.indices, |lane| {
                 (lane < groups)
                     .then_some(lane)
@@ -264,7 +373,10 @@ impl Kernel for SubWarpKernel {
                 w.ld(gd.features, |lane| {
                     let g = lane / lpv;
                     let d = dbase + lane % lpv;
-                    (g < groups && d < f).then_some(g).and_then(group_vertex).map(|v| v * f + d)
+                    (g < groups && d < f)
+                        .then_some(g)
+                        .and_then(group_vertex)
+                        .map(|v| v * f + d)
                 })
             };
             w.issue(1);
@@ -390,9 +502,7 @@ impl Kernel for CtaPerVertexKernel {
                     }
                 }
                 for src in 0..wpb {
-                    w.shared_access(|l| {
-                        (l < active).then(|| (src * tiles + tile) * WARP_SIZE + l)
-                    });
+                    w.shared_access(|l| (l < active).then(|| (src * tiles + tile) * WARP_SIZE + l));
                 }
                 let self_w = self_scale(self.agg, norm_v);
                 if self_w != 0.0 {
@@ -526,7 +636,13 @@ mod tests {
         }
     }
 
-    fn check(kernel: &dyn Kernel, dev: &mut Device, gd: GraphOnDevice, lc: LaunchConfig, want: &Matrix) {
+    fn check(
+        kernel: &dyn Kernel,
+        dev: &mut Device,
+        gd: GraphOnDevice,
+        lc: LaunchConfig,
+        want: &Matrix,
+    ) {
         dev.launch(kernel, lc);
         let got = gd.read_output(dev);
         assert!(
@@ -541,12 +657,22 @@ mod tests {
     fn thread_per_vertex_matches_oracle() {
         let g = generators::rmat_default(100, 600, 41);
         let x = Matrix::random(100, 16, 1.0, 42);
-        for agg in [Aggregator::GcnSum, Aggregator::GinSum { eps: 0.1 }, Aggregator::SageMean] {
+        for agg in [
+            Aggregator::GcnSum,
+            Aggregator::GinSum { eps: 0.1 },
+            Aggregator::SageMean,
+        ] {
             let mut dev = Device::new(DeviceConfig::test_small());
             let gd = GraphOnDevice::upload(&mut dev, &g, &x);
             let k = ThreadPerVertexKernel { gd, agg };
             let lc = LaunchConfig::warp_per_item(gd.n.div_ceil(32), 128);
-            check(&k, &mut dev, gd, lc, &conv_reference(&model_of(agg), &g, &x));
+            check(
+                &k,
+                &mut dev,
+                gd,
+                lc,
+                &conv_reference(&model_of(agg), &g, &x),
+            );
         }
     }
 
@@ -556,7 +682,10 @@ mod tests {
         let x = Matrix::random(256, 32, 1.0, 44);
         let mut dev = Device::new(DeviceConfig::test_small());
         let gd = GraphOnDevice::upload(&mut dev, &g, &x);
-        let k = ThreadPerVertexKernel { gd, agg: Aggregator::GinSum { eps: 0.0 } };
+        let k = ThreadPerVertexKernel {
+            gd,
+            agg: Aggregator::GinSum { eps: 0.0 },
+        };
         let p = dev.launch(&k, LaunchConfig::warp_per_item(gd.n.div_ceil(32), 128));
         assert!(
             p.sectors_per_request > 6.0,
@@ -573,7 +702,11 @@ mod tests {
         for lpv in [8usize, 16, 32] {
             let mut dev = Device::new(DeviceConfig::test_small());
             let gd = GraphOnDevice::upload(&mut dev, &g, &x);
-            let k = SubWarpKernel { gd, agg: Aggregator::GcnSum, lanes_per_vertex: lpv };
+            let k = SubWarpKernel {
+                gd,
+                agg: Aggregator::GcnSum,
+                lanes_per_vertex: lpv,
+            };
             let groups = 32 / lpv;
             let lc = LaunchConfig::warp_per_item(gd.n.div_ceil(groups), 128);
             check(&k, &mut dev, gd, lc, &want);
@@ -586,10 +719,17 @@ mod tests {
         let x = Matrix::random(512, 128, 1.0, 48);
         let mut dev = Device::new(DeviceConfig::test_small());
         let gd = GraphOnDevice::upload(&mut dev, &g, &x);
-        let one = ThreadPerVertexKernel { gd, agg: Aggregator::GinSum { eps: 0.0 } };
+        let one = ThreadPerVertexKernel {
+            gd,
+            agg: Aggregator::GinSum { eps: 0.0 },
+        };
         let p_one = dev.launch(&one, LaunchConfig::warp_per_item(gd.n.div_ceil(32), 128));
         gd.clear_output(&dev);
-        let half = SubWarpKernel { gd, agg: Aggregator::GinSum { eps: 0.0 }, lanes_per_vertex: 16 };
+        let half = SubWarpKernel {
+            gd,
+            agg: Aggregator::GinSum { eps: 0.0 },
+            lanes_per_vertex: 16,
+        };
         let p_half = dev.launch(&half, LaunchConfig::warp_per_item(gd.n.div_ceil(2), 128));
         assert!(p_one.sectors_per_request > 2.0 * p_half.sectors_per_request);
         assert!(p_one.gpu_cycles > p_half.gpu_cycles);
@@ -599,13 +739,23 @@ mod tests {
     fn cta_per_vertex_matches_oracle() {
         let g = generators::rmat_default(80, 900, 49);
         let x = Matrix::random(80, 32, 1.0, 50);
-        for agg in [Aggregator::GcnSum, Aggregator::GinSum { eps: 0.3 }, Aggregator::SageMean] {
+        for agg in [
+            Aggregator::GcnSum,
+            Aggregator::GinSum { eps: 0.3 },
+            Aggregator::SageMean,
+        ] {
             let mut dev = Device::new(DeviceConfig::test_small());
             let gd = GraphOnDevice::upload(&mut dev, &g, &x);
             let k = CtaPerVertexKernel { gd, agg };
             // One block per vertex, 4 warps per block.
             let lc = LaunchConfig::new(gd.n, 128);
-            check(&k, &mut dev, gd, lc, &conv_reference(&model_of(agg), &g, &x));
+            check(
+                &k,
+                &mut dev,
+                gd,
+                lc,
+                &conv_reference(&model_of(agg), &g, &x),
+            );
         }
     }
 
@@ -613,12 +763,22 @@ mod tests {
     fn edge_parallel_second_matches_oracle() {
         let g = generators::rmat_default(90, 700, 51);
         let x = Matrix::random(90, 32, 1.0, 52);
-        for agg in [Aggregator::GcnSum, Aggregator::GinSum { eps: 0.0 }, Aggregator::SageMean] {
+        for agg in [
+            Aggregator::GcnSum,
+            Aggregator::GinSum { eps: 0.0 },
+            Aggregator::SageMean,
+        ] {
             let mut dev = Device::new(DeviceConfig::test_small());
             let gd = GraphOnDevice::upload(&mut dev, &g, &x);
             let k = EdgeParallelSecondKernel { gd, agg };
             let lc = LaunchConfig::warp_per_item(gd.n, 128);
-            check(&k, &mut dev, gd, lc, &conv_reference(&model_of(agg), &g, &x));
+            check(
+                &k,
+                &mut dev,
+                gd,
+                lc,
+                &conv_reference(&model_of(agg), &g, &x),
+            );
         }
     }
 
@@ -629,10 +789,18 @@ mod tests {
         let x = Matrix::random(256, 32, 1.0, 54);
         let mut dev = Device::new(DeviceConfig::test_small());
         let gd = GraphOnDevice::upload(&mut dev, &g, &x);
-        let fp = FusedConvKernel::new(gd, Aggregator::GinSum { eps: 0.0 }, WorkSource::Hardware, true);
+        let fp = FusedConvKernel::new(
+            gd,
+            Aggregator::GinSum { eps: 0.0 },
+            WorkSource::Hardware,
+            true,
+        );
         let p_fp = dev.launch(&fp, LaunchConfig::warp_per_item(gd.n, 256));
         gd.clear_output(&dev);
-        let ep = EdgeParallelSecondKernel { gd, agg: Aggregator::GinSum { eps: 0.0 } };
+        let ep = EdgeParallelSecondKernel {
+            gd,
+            agg: Aggregator::GinSum { eps: 0.0 },
+        };
         let p_ep = dev.launch(&ep, LaunchConfig::warp_per_item(gd.n, 256));
         assert!(
             p_ep.gpu_cycles > p_fp.gpu_cycles,

@@ -138,8 +138,7 @@ mod tests {
     fn weighted_kernel_matches_reference_all_modes() {
         let g = generators::rmat_default(200, 1500, 411);
         let x = Matrix::random(200, 32, 1.0, 412);
-        let weights = Matrix::random(1, g.num_edges(), 1.0, 413)
-            .into_vec();
+        let weights = Matrix::random(1, g.num_edges(), 1.0, 413).into_vec();
         let want = weighted_reference(&g, &x, &weights);
         for (software, reg_cache) in [(false, true), (false, false), (true, true)] {
             let mut dev = Device::new(DeviceConfig::test_small());

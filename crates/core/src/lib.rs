@@ -53,6 +53,7 @@ pub mod tune;
 
 pub use engine::{EngineOptions, TlpgnnEngine};
 pub use gpu::{GatScoresOnDevice, GraphOnDevice};
+pub use kernels::variants::KernelVariant;
 pub use kernels::{Aggregator, WorkSource};
 pub use model::{Combine, GatParams, GnnLayer, GnnModel, GnnNetwork};
 pub use native::{NativeEngine, NativeSchedule};

@@ -197,8 +197,11 @@ impl MultiGpuEngine {
             let total = n_owned + shard.halo.len();
             // Assemble local features (owned rows, then halo rows) and the
             // global norms/degrees those rows carry.
-            let halo_span =
-                telemetry::span!("halo_assemble", shard = shard_idx, halo_rows = shard.halo.len());
+            let halo_span = telemetry::span!(
+                "halo_assemble",
+                shard = shard_idx,
+                halo_rows = shard.halo.len()
+            );
             let mut feats = Matrix::zeros(total.max(1), f);
             let mut norm = vec![0.0f32; total.max(1)];
             let mut deg = vec![0u32; total.max(1)];
@@ -231,9 +234,7 @@ impl MultiGpuEngine {
                 tmp.n = shard.local.num_vertices();
                 tmp
             };
-            let assignment = self
-                .heuristic
-                .choose(n_owned, shard.local.avg_degree());
+            let assignment = self.heuristic.choose(n_owned, shard.local.avg_degree());
             let lc = assignment.launch_config(n_owned.max(1), dev.cfg(), 48);
             let mut cursor = None;
             let work = match assignment {
@@ -335,7 +336,12 @@ mod tests {
         let gat = GnnModel::Gat {
             params: crate::model::GatParams::random(32, 199),
         };
-        for model in [GnnModel::Gcn, GnnModel::Gin { eps: 0.2 }, GnnModel::Sage, gat] {
+        for model in [
+            GnnModel::Gcn,
+            GnnModel::Gin { eps: 0.2 },
+            GnnModel::Sage,
+            gat,
+        ] {
             let want = conv_reference(&model, &g, &x);
             for devices in [1usize, 2, 4] {
                 let (got, prof) = e.conv(&model, &g, &x, devices);

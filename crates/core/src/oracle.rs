@@ -25,8 +25,12 @@ pub fn gat_scores(x: &Matrix, params: &GatParams) -> (Vec<f32>, Vec<f32>) {
     assert_eq!(params.a_src.len(), x.cols());
     assert_eq!(params.a_dst.len(), x.cols());
     let dot = |row: &[f32], a: &[f32]| row.iter().zip(a).map(|(r, w)| r * w).sum::<f32>();
-    let al = (0..x.rows()).map(|v| dot(x.row(v), &params.a_src)).collect();
-    let ar = (0..x.rows()).map(|v| dot(x.row(v), &params.a_dst)).collect();
+    let al = (0..x.rows())
+        .map(|v| dot(x.row(v), &params.a_src))
+        .collect();
+    let ar = (0..x.rows())
+        .map(|v| dot(x.row(v), &params.a_dst))
+        .collect();
     (al, ar)
 }
 

@@ -43,9 +43,7 @@ pub enum Assignment {
 impl Assignment {
     /// Default hardware assignment (8 warps / 256 threads per block).
     pub fn hardware() -> Self {
-        Assignment::Hardware {
-            warps_per_block: 8,
-        }
+        Assignment::Hardware { warps_per_block: 8 }
     }
 
     /// Default software assignment (chunk of 8 vertices per pull).
@@ -57,12 +55,19 @@ impl Assignment {
     }
 
     /// Launch geometry for a graph of `n` vertices on `cfg`.
-    pub fn launch_config(&self, n: usize, cfg: &DeviceConfig, regs_per_thread: usize) -> LaunchConfig {
+    pub fn launch_config(
+        &self,
+        n: usize,
+        cfg: &DeviceConfig,
+        regs_per_thread: usize,
+    ) -> LaunchConfig {
         match *self {
             Assignment::Hardware { warps_per_block } => {
                 LaunchConfig::warp_per_item(n.max(1), warps_per_block * 32)
             }
-            Assignment::Software { warps_per_block, .. } => {
+            Assignment::Software {
+                warps_per_block, ..
+            } => {
                 // Fill the device exactly once: resident blocks per SM ×
                 // number of SMs.
                 let block_threads = warps_per_block * 32;
@@ -148,7 +153,10 @@ mod tests {
             Assignment::Software { .. }
         ));
         // High degree -> software.
-        assert!(matches!(h.choose(10_000, 500.0), Assignment::Software { .. }));
+        assert!(matches!(
+            h.choose(10_000, 500.0),
+            Assignment::Software { .. }
+        ));
         // Boundary: exactly at thresholds stays hardware (strict >).
         assert!(matches!(
             h.choose(1_000_000, 50.0),

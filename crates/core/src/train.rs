@@ -235,12 +235,7 @@ impl GcnClassifier {
             .collect();
 
         (
-            Grads {
-                dw1,
-                db1,
-                dw2,
-                db2,
-            },
+            Grads { dw1, db1, dw2, db2 },
             EpochStats {
                 loss,
                 train_accuracy: correct as f64 / count as f64,

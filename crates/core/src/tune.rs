@@ -65,12 +65,7 @@ pub const STEP_CANDIDATES: &[u32] = &[1, 2, 4, 8, 16, 64];
 /// let report = tune::autotune(&mut engine, &GnnModel::Gcn, &g, &x);
 /// assert!(report.heuristic_gap >= 1.0); // the tuned best is never worse
 /// ```
-pub fn autotune(
-    engine: &mut TlpgnnEngine,
-    model: &GnnModel,
-    g: &Csr,
-    x: &Matrix,
-) -> TuneReport {
+pub fn autotune(engine: &mut TlpgnnEngine, model: &GnnModel, g: &Csr, x: &Matrix) -> TuneReport {
     let mut points = Vec::new();
     for &wpb in WPB_CANDIDATES {
         let a = Assignment::Hardware {

@@ -54,7 +54,7 @@ use crate::cache::{SectorCache, SharedCache};
 use crate::config::{DeviceConfig, WARP_SIZE};
 use crate::kernel::{Kernel, LaunchConfig};
 use crate::mem::DeviceMemory;
-use crate::profile::{KernelProfile, LimiterBreakdown};
+use crate::profile::{Accounting, KernelProfile, LimiterBreakdown, SmAccounting};
 use crate::warp::{WarpCtx, WarpId, WarpStats};
 
 /// Cost record of one executed block, consumed by the list scheduler.
@@ -63,7 +63,9 @@ struct BlockCost {
     issue_cycles: u64,
     /// Atomic-weighted bandwidth sectors.
     bw_sectors: f64,
-    /// `warps_per_block × slowest warp` — slot time the block occupies.
+    /// Warp-slot time the block occupies: the sum of per-warp cycles
+    /// plus [`RAMP_DOWN_CHARGE`] of the tail where early-retiring warps'
+    /// slots sit idle until the whole CTA completes.
     slot_cycles: u64,
     max_warp: u64,
 }
@@ -72,6 +74,14 @@ struct WorkerResult {
     stats: WarpStats,
     blocks: Vec<BlockCost>,
 }
+
+/// Fraction of a block's ramp-down tail (slot-cycles between a warp's
+/// retirement and its CTA's completion) charged as occupied. Warp slots
+/// free individually when warps exit, but a successor CTA launches only
+/// once the whole block's allotment is free, so part of the tail is
+/// unusable in practice; 0 would model perfect per-warp backfill, 1
+/// CTA-granular holding of every slot until the slowest warp ends.
+const RAMP_DOWN_CHARGE: f64 = 0.3;
 
 /// Process-wide device id source, so telemetry can tell multiple
 /// simulated devices (multi-GPU runs) apart in one trace.
@@ -158,7 +168,13 @@ impl Device {
         let warps_per_block = lc.warps_per_block();
         let block_threads = warps_per_block * WARP_SIZE;
         if lc.grid_blocks == 0 {
-            return self.finish_profile(kernel, lc, warps_per_block, WarpStats::default(), Vec::new());
+            return self.finish_profile(
+                kernel,
+                lc,
+                warps_per_block,
+                WarpStats::default(),
+                Vec::new(),
+            );
         }
 
         let shared_f32 = kernel.shared_f32_per_block();
@@ -210,13 +226,15 @@ impl Device {
                         kernel.run_warp(&mut ctx);
                         let wc = ctx.stats.warp_cycles(cfg);
                         bc.max_warp = bc.max_warp.max(wc);
+                        bc.slot_cycles += wc;
                         bc.issue_cycles += ctx.stats.issue_cycles;
                         bc.bw_sectors += (ctx.stats.below_l1_sectors() + ctx.stats.store_sectors)
                             as f64
                             + ctx.stats.atomic_sectors as f64 * cfg.atomic_bw_factor;
                         res.stats.merge(&ctx.stats);
                     }
-                    bc.slot_cycles = bc.max_warp * warps_per_block as u64;
+                    let ceiling = bc.max_warp * warps_per_block as u64;
+                    bc.slot_cycles += ((ceiling - bc.slot_cycles) as f64 * RAMP_DOWN_CHARGE) as u64;
                     res.blocks.push(bc);
                     block += workers;
                 }
@@ -299,10 +317,7 @@ impl Device {
             if trace_blocks {
                 placements.push((sm, b.idx, load, load + b.slot_cycles));
             }
-            heap.push(Reverse((
-                load + b.slot_cycles + cfg.block_sched_cycles,
-                sm,
-            )));
+            heap.push(Reverse((load + b.slot_cycles + cfg.block_sched_cycles, sm)));
         }
 
         let mut gpu_cycles = 0f64;
@@ -311,6 +326,7 @@ impl Device {
         let mut sum_slots = 0u64;
         let mut max_slot = 0u64;
         let mut limiter = LimiterBreakdown::default();
+        let mut sm_accounting = Vec::with_capacity(bins.len());
         for bin in &bins {
             sum_slots += bin.slot;
             max_slot = max_slot.max(bin.slot);
@@ -335,6 +351,13 @@ impl Device {
             }
             sum_issue += bin.issue;
             blocks_run += bin.blocks;
+            sm_accounting.push(SmAccounting {
+                blocks: bin.blocks,
+                slot_cycles: bin.slot,
+                issue_cycles: bin.issue,
+                max_warp_cycles: bin.max_warp,
+                sm_cycles: sm_time,
+            });
         }
 
         let gpu_time_ms = cfg.cycles_to_ms(gpu_cycles);
@@ -392,6 +415,22 @@ impl Device {
             blocks_run,
             peak_mem_bytes: self.mem.peak_bytes(),
             limiter,
+            accounting: Accounting {
+                mem_requests: total.mem_requests,
+                mem_sectors: total.mem_sectors,
+                l1_hit_sectors: total.l1_hit_sectors,
+                l2_hit_sectors: total.l2_hit_sectors,
+                dram_sectors: total.dram_sectors,
+                store_requests: total.store_requests,
+                store_sectors: total.store_sectors,
+                atomic_requests: total.atomic_requests,
+                atomic_sectors: total.atomic_sectors,
+                issue_cycles: total.issue_cycles,
+                active_lane_steps: total.active_lane_steps,
+                total_lane_steps: total.total_lane_steps,
+                warps_per_block: warps_per_block as u64,
+                sm: sm_accounting,
+            },
         };
 
         if trace_blocks {
@@ -404,11 +443,7 @@ impl Device {
     /// Feed one finished launch into the global telemetry collector:
     /// scalar metrics plus the per-SM block timeline derived from the
     /// list schedule. Only called when collection is enabled.
-    fn publish_telemetry(
-        &self,
-        profile: &KernelProfile,
-        placements: Vec<(usize, u32, u64, u64)>,
-    ) {
+    fn publish_telemetry(&self, profile: &KernelProfile, placements: Vec<(usize, u32, u64, u64)>) {
         let cfg = &self.cfg;
         telemetry::record_kernel(KernelSample {
             name: profile.name.clone(),
@@ -628,11 +663,7 @@ mod tests {
         let k = Double { x, y, n: 32 * 512 };
         let p = dev.launch(&k, LaunchConfig::warp_per_item(512, 256));
         let l = &p.limiter;
-        let max = l
-            .issue
-            .max(l.bandwidth)
-            .max(l.latency)
-            .max(l.critical_warp);
+        let max = l.issue.max(l.bandwidth).max(l.latency).max(l.critical_warp);
         assert!(p.gpu_cycles >= max);
         assert!(!l.name().is_empty());
     }

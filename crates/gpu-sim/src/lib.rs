@@ -68,5 +68,5 @@ pub use config::{DeviceConfig, WARP_SIZE};
 pub use kernel::{Kernel, LaunchConfig};
 pub use launch::Device;
 pub use mem::{DeviceBuffer, DeviceMemory, Word};
-pub use profile::{KernelProfile, OpProfile};
+pub use profile::{Accounting, KernelProfile, OpProfile, SmAccounting};
 pub use warp::{WarpCtx, WarpId, WarpStats};

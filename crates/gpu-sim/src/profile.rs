@@ -10,6 +10,68 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Raw counter totals and per-SM schedule accounting for one launch.
+///
+/// These are the un-derived numbers every ratio metric on
+/// [`KernelProfile`] is computed from, exposed so external checkers (the
+/// conformance harness) can verify the simulator's conservation laws:
+///
+/// * every load sector is served by exactly one level —
+///   `l1_hit_sectors + l2_hit_sectors + dram_sectors == mem_sectors`;
+/// * a load request touches at least one sector —
+///   `mem_sectors >= mem_requests` (and likewise for stores/atomics);
+/// * the block schedule loses nothing —
+///   `Σ sm.blocks == blocks_run` and `gpu_cycles == max(sm.sm_cycles)`;
+/// * per-SM issue cycles re-add to the launch total —
+///   `Σ sm.issue_cycles == issue_cycles`.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Accounting {
+    /// Global load requests.
+    pub mem_requests: u64,
+    /// Load sectors touched (serviced by L1 + L2 + DRAM).
+    pub mem_sectors: u64,
+    /// Load sectors served by the L1.
+    pub l1_hit_sectors: u64,
+    /// Load sectors served by the L2.
+    pub l2_hit_sectors: u64,
+    /// Load sectors served by DRAM.
+    pub dram_sectors: u64,
+    /// Store requests issued.
+    pub store_requests: u64,
+    /// Sectors written by stores.
+    pub store_sectors: u64,
+    /// Atomic requests issued.
+    pub atomic_requests: u64,
+    /// Sectors touched by atomics.
+    pub atomic_sectors: u64,
+    /// Cycles spent issuing instructions, all warps.
+    pub issue_cycles: u64,
+    /// Active lanes summed over SIMD steps.
+    pub active_lane_steps: u64,
+    /// `WARP_SIZE` × SIMD steps.
+    pub total_lane_steps: u64,
+    /// Warps per block of this launch.
+    pub warps_per_block: u64,
+    /// Per-SM totals from the deterministic block list schedule.
+    pub sm: Vec<SmAccounting>,
+}
+
+/// What one SM accumulated over the launch's block schedule.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, Default)]
+pub struct SmAccounting {
+    /// Blocks scheduled onto this SM.
+    pub blocks: u64,
+    /// Warp-slot cycles accumulated (latency-hiding numerator).
+    pub slot_cycles: u64,
+    /// Issue cycles accumulated.
+    pub issue_cycles: u64,
+    /// Longest single warp scheduled here, cycles.
+    pub max_warp_cycles: u64,
+    /// This SM's modelled completion time under the cost model, cycles.
+    /// `KernelProfile::gpu_cycles` is the maximum of these.
+    pub sm_cycles: f64,
+}
+
 /// Profile of a single kernel launch.
 #[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct KernelProfile {
@@ -72,6 +134,9 @@ pub struct KernelProfile {
     /// critical-warp, and block-scheduling components. Which of these is
     /// largest names the kernel's limiter.
     pub limiter: LimiterBreakdown,
+    /// Raw counter totals and per-SM schedule accounting (conservation-law
+    /// inputs; every ratio metric above derives from these).
+    pub accounting: Accounting,
 }
 
 /// Per-term cycle components of the analytic cost model at the critical SM.
@@ -114,6 +179,46 @@ impl KernelProfile {
     /// Total global memory traffic (loads below L1 + stores + atomics).
     pub fn total_traffic_bytes(&self) -> u64 {
         self.load_bytes + self.store_bytes + self.atomic_bytes
+    }
+
+    /// Every scalar metric as `(name, unit, value)`, in report order.
+    ///
+    /// This is the stable external surface of the profiler: exporters and
+    /// the conformance harness consume it, and a golden-file test pins
+    /// the names and units so renames are deliberate, not accidental.
+    pub fn metrics(&self) -> Vec<(&'static str, &'static str, f64)> {
+        vec![
+            ("grid_blocks", "blocks", self.grid_blocks as f64),
+            ("block_threads", "threads", self.block_threads as f64),
+            ("gpu_cycles", "cycles", self.gpu_cycles),
+            ("gpu_time_ms", "ms", self.gpu_time_ms),
+            ("runtime_ms", "ms", self.runtime_ms),
+            ("sm_utilization", "ratio", self.sm_utilization),
+            ("achieved_occupancy", "ratio", self.achieved_occupancy),
+            ("simd_efficiency", "ratio", self.simd_efficiency),
+            (
+                "sectors_per_request",
+                "sectors/request",
+                self.sectors_per_request,
+            ),
+            (
+                "stall_long_scoreboard",
+                "cycles/instruction",
+                self.stall_long_scoreboard,
+            ),
+            ("l1_hit_rate", "ratio", self.l1_hit_rate),
+            ("l2_hit_rate", "ratio", self.l2_hit_rate),
+            ("load_bytes", "bytes", self.load_bytes as f64),
+            ("dram_load_bytes", "bytes", self.dram_load_bytes as f64),
+            ("store_bytes", "bytes", self.store_bytes as f64),
+            ("atomic_bytes", "bytes", self.atomic_bytes as f64),
+            ("mem_requests", "requests", self.mem_requests as f64),
+            ("atomic_requests", "requests", self.atomic_requests as f64),
+            ("insts", "instructions", self.insts as f64),
+            ("warps_run", "warps", self.warps_run as f64),
+            ("blocks_run", "blocks", self.blocks_run as f64),
+            ("peak_mem_bytes", "bytes", self.peak_mem_bytes as f64),
+        ]
     }
 }
 

@@ -235,7 +235,10 @@ impl<'a> WarpCtx<'a> {
         for (lane, slot) in out.iter_mut().enumerate() {
             if let Some(idx) = lane_idx(lane) {
                 *slot = T::from_bits(self.mem.load_bits(buf.id, idx));
-                push_sector(&mut sectors, buf.addr_of(idx) / self.cfg.sector_bytes as u64);
+                push_sector(
+                    &mut sectors,
+                    buf.addr_of(idx) / self.cfg.sector_bytes as u64,
+                );
                 active += 1;
             }
         }
@@ -296,7 +299,10 @@ impl<'a> WarpCtx<'a> {
         for lane in 0..WARP_SIZE {
             if let Some((idx, v)) = lane_val(lane) {
                 self.mem.store_bits(buf.id, idx, v.to_bits());
-                push_sector(&mut sectors, buf.addr_of(idx) / self.cfg.sector_bytes as u64);
+                push_sector(
+                    &mut sectors,
+                    buf.addr_of(idx) / self.cfg.sector_bytes as u64,
+                );
                 active += 1;
             }
         }
@@ -378,7 +384,10 @@ impl<'a> WarpCtx<'a> {
         for lane in 0..WARP_SIZE {
             if let Some((idx, v)) = lane_op(lane) {
                 self.mem.atomic_max_f32(buf.id, idx, v);
-                push_sector(&mut sectors, buf.addr_of(idx) / self.cfg.sector_bytes as u64);
+                push_sector(
+                    &mut sectors,
+                    buf.addr_of(idx) / self.cfg.sector_bytes as u64,
+                );
                 distinct += 1;
                 active += 1;
             }
@@ -428,8 +437,7 @@ impl<'a> WarpCtx<'a> {
     /// conflict degree (1 = conflict-free).
     pub fn shared_access(&mut self, mut lane_word: impl FnMut(usize) -> Option<usize>) -> u32 {
         // Per bank, the distinct word addresses seen (at most 32 lanes).
-        let mut bank_words: [([usize; WARP_SIZE], usize); 32] =
-            [([0; WARP_SIZE], 0); 32];
+        let mut bank_words: [([usize; WARP_SIZE], usize); 32] = [([0; WARP_SIZE], 0); 32];
         let mut active = 0usize;
         for lane in 0..WARP_SIZE {
             if let Some(word) = lane_word(lane) {

@@ -1,0 +1,71 @@
+//! Golden-file pin of the profiler's metric schema.
+//!
+//! Downstream consumers — the bench CSV writers, the Perfetto exporter,
+//! the conformance harness's conservation checks — address metrics by
+//! name and interpret values by unit. Renaming, reordering, or re-uniting
+//! a metric silently corrupts every one of those surfaces, so the full
+//! `(name, unit)` schema is pinned against a checked-in golden file.
+//! A deliberate schema change must update
+//! `tests/golden/profile_metrics.txt` in the same commit.
+
+use gpu_sim::{Device, DeviceBuffer, DeviceConfig, Kernel, LaunchConfig, WarpCtx};
+
+struct Fill {
+    dst: DeviceBuffer<f32>,
+    n: usize,
+}
+
+impl Kernel for Fill {
+    fn name(&self) -> &str {
+        "golden_fill"
+    }
+    fn run_warp(&self, w: &mut WarpCtx<'_>) {
+        let base = w.global_warp() * 32;
+        w.issue(1);
+        w.st(self.dst, |l| {
+            (base + l < self.n).then(|| (base + l, (base + l) as f32))
+        });
+    }
+}
+
+fn any_profile() -> gpu_sim::KernelProfile {
+    let mut dev = Device::new(DeviceConfig::test_small());
+    let n = 256;
+    let dst = dev.mem_mut().alloc::<f32>(n);
+    dev.launch(
+        &Fill { dst, n },
+        LaunchConfig::warp_per_item(n.div_ceil(32), 128),
+    )
+}
+
+#[test]
+fn metric_schema_matches_golden_file() {
+    let golden = include_str!("golden/profile_metrics.txt");
+    let want: Vec<(&str, &str)> = golden
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.split_once(' ').expect("golden line is `name unit`"))
+        .collect();
+    let got: Vec<(&str, &str)> = any_profile()
+        .metrics()
+        .iter()
+        .map(|&(name, unit, _)| (name, unit))
+        .collect();
+    assert_eq!(
+        got, want,
+        "KernelProfile::metrics() schema drifted from tests/golden/profile_metrics.txt; \
+         update the golden file only for an intentional schema change"
+    );
+}
+
+#[test]
+fn metric_values_are_finite_and_named_uniquely() {
+    let p = any_profile();
+    let metrics = p.metrics();
+    let mut seen = std::collections::HashSet::new();
+    for (name, unit, value) in metrics {
+        assert!(seen.insert(name), "duplicate metric name `{name}`");
+        assert!(!unit.is_empty(), "metric `{name}` has an empty unit");
+        assert!(value.is_finite(), "metric `{name}` is not finite: {value}");
+    }
+}

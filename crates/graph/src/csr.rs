@@ -137,11 +137,8 @@ impl Csr {
 
     /// Iterate `(src, dst)` pairs, where `dst` is the row vertex.
     pub fn edge_iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.num_vertices).flat_map(move |v| {
-            self.neighbors(v)
-                .iter()
-                .map(move |&u| (u, v as u32))
-        })
+        (0..self.num_vertices)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&u| (u, v as u32)))
     }
 
     /// The reverse graph: row `v` lists the vertices whose rows contain `v`.

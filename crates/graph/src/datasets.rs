@@ -219,9 +219,7 @@ pub const DATASETS: &[DatasetSpec] = &[
 
 /// Look up a dataset by its Table 4 abbreviation (case-insensitive).
 pub fn by_abbr(abbr: &str) -> Option<&'static DatasetSpec> {
-    DATASETS
-        .iter()
-        .find(|d| d.abbr.eq_ignore_ascii_case(abbr))
+    DATASETS.iter().find(|d| d.abbr.eq_ignore_ascii_case(abbr))
 }
 
 /// The four largest graphs (CL, ON, RD, OT) used by the paper's

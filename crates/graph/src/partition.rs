@@ -94,12 +94,13 @@ impl VertexPartition {
         self.bounds[p] as usize..self.bounds[p + 1] as usize
     }
 
-    /// Which part owns vertex `v`.
+    /// Which part owns vertex `v`: the unique `p` with
+    /// `bounds[p] <= v < bounds[p + 1]`. (A plain `binary_search` is wrong
+    /// here — empty parts duplicate bounds, and it may land on a duplicate
+    /// whose range is empty.)
     pub fn part_of(&self, v: u32) -> usize {
-        match self.bounds.binary_search(&v) {
-            Ok(i) => i.min(self.parts() - 1),
-            Err(i) => i - 1,
-        }
+        let i = self.bounds.partition_point(|&b| b <= v);
+        i.saturating_sub(1).min(self.parts() - 1)
     }
 }
 

@@ -47,7 +47,11 @@ impl GraphStats {
             edges: m,
             avg_degree: g.avg_degree(),
             max_degree: g.max_degree(),
-            isolated_fraction: if n == 0 { 0.0 } else { isolated as f64 / n as f64 },
+            isolated_fraction: if n == 0 {
+                0.0
+            } else {
+                isolated as f64 / n as f64
+            },
             degree_gini: gini,
         }
     }

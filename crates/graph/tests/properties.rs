@@ -237,3 +237,51 @@ fn generators_match_requested_shapes() {
         assert!(rm.max_degree() >= er.max_degree());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Edge-balanced partitioning covers every *edge* exactly once: each
+    /// edge belongs to the part owning its row (destination) vertex,
+    /// `part_of` agrees with the contiguous ranges, and per-part edge
+    /// counts sum to `m`.
+    #[test]
+    fn edge_balanced_partition_tiles_edges_exactly_once(
+        (n, edges) in arb_edges(120, 500),
+        parts in 1usize..7,
+    ) {
+        let g = build(n, &edges);
+        let p = partition::edge_balanced_partition(&g, parts);
+        let mut per_part = vec![0usize; p.parts()];
+        for (_, row) in g.edge_iter() {
+            per_part[p.part_of(row)] += 1;
+        }
+        prop_assert_eq!(per_part.iter().sum::<usize>(), g.num_edges());
+        for (i, &owned) in per_part.iter().enumerate() {
+            // `part_of` and `range` describe the same tiling, so counting
+            // by owner matches counting by range.
+            let by_range: usize = p.range(i).map(|v| g.degree(v)).sum();
+            prop_assert_eq!(owned, by_range, "part {} edge count mismatch", i);
+            for v in p.range(i) {
+                prop_assert_eq!(p.part_of(v as u32), i);
+            }
+        }
+    }
+
+    /// Reorder permutations are bijections in the strong sense: composing
+    /// with the inverse permutation restores the original graph exactly.
+    #[test]
+    fn reorder_permutations_invert((n, edges) in arb_edges(100, 400)) {
+        let g = build(n, &edges);
+        for perm in [reorder::degree_descending(&g), reorder::bfs_locality(&g)] {
+            prop_assert_eq!(perm.len(), n);
+            let mut inverse = vec![0u32; n];
+            for (old, &new) in perm.iter().enumerate() {
+                inverse[new as usize] = old as u32;
+            }
+            let roundtrip = g.permute(&perm).permute(&inverse);
+            prop_assert_eq!(roundtrip.indptr(), g.indptr());
+            prop_assert_eq!(roundtrip.indices(), g.indices());
+        }
+    }
+}

@@ -82,8 +82,7 @@ fn watched(snap: &MetricsSnapshot) -> Vec<(String, f64)> {
 /// Compare two snapshots at the given relative threshold (0.10 = 10%).
 pub fn diff(old: &MetricsSnapshot, new: &MetricsSnapshot, threshold: f64) -> DiffReport {
     let old_watched = watched(old);
-    let new_watched: std::collections::BTreeMap<String, f64> =
-        watched(new).into_iter().collect();
+    let new_watched: std::collections::BTreeMap<String, f64> = watched(new).into_iter().collect();
     let old_keys: std::collections::BTreeSet<&String> =
         old_watched.iter().map(|(k, _)| k).collect();
 

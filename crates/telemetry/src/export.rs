@@ -100,7 +100,12 @@ pub fn chrome_trace(c: &Collector) -> Value {
             .flat_map(|t| t.sms.iter().map(|s| s.sm))
             .collect();
         for sm in sms {
-            events.push(meta("thread_name", pid, Some(sm as u64), &format!("SM {sm}")));
+            events.push(meta(
+                "thread_name",
+                pid,
+                Some(sm as u64),
+                &format!("SM {sm}"),
+            ));
         }
     }
     for t in &timelines {
@@ -141,8 +146,7 @@ pub fn chrome_trace(c: &Collector) -> Value {
     }
 
     let mut doc = Value::object();
-    doc.set("traceEvents", events)
-        .set("displayTimeUnit", "ms");
+    doc.set("traceEvents", events).set("displayTimeUnit", "ms");
     doc
 }
 

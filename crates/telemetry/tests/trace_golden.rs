@@ -7,7 +7,14 @@ use telemetry::export;
 use telemetry::json::{self, Value};
 use telemetry::{BlockSlice, Collector, KernelSample, SimKernelTimeline, SmTimeline, SpanRecord};
 
-fn span(id: u64, parent: Option<u64>, depth: u32, name: &'static str, t0: u64, t1: u64) -> SpanRecord {
+fn span(
+    id: u64,
+    parent: Option<u64>,
+    depth: u32,
+    name: &'static str,
+    t0: u64,
+    t1: u64,
+) -> SpanRecord {
     SpanRecord {
         id,
         parent,
@@ -46,13 +53,25 @@ fn build_collector() -> Collector {
             SmTimeline {
                 sm: 0,
                 blocks: vec![
-                    BlockSlice { block: 0, start_us: 0.0, dur_us: 12.0 },
-                    BlockSlice { block: 2, start_us: 12.5, dur_us: 10.0 },
+                    BlockSlice {
+                        block: 0,
+                        start_us: 0.0,
+                        dur_us: 12.0,
+                    },
+                    BlockSlice {
+                        block: 2,
+                        start_us: 12.5,
+                        dur_us: 10.0,
+                    },
                 ],
             },
             SmTimeline {
                 sm: 1,
-                blocks: vec![BlockSlice { block: 1, start_us: 0.0, dur_us: 29.0 }],
+                blocks: vec![BlockSlice {
+                    block: 1,
+                    start_us: 0.0,
+                    dur_us: 29.0,
+                }],
             },
         ],
         truncated: false,

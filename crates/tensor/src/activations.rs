@@ -30,9 +30,13 @@ pub fn leaky_relu_scalar(x: f32, slope: f32) -> f32 {
 
 /// ELU in place.
 pub fn elu(m: &mut Matrix, alpha: f32) {
-    m.data_mut()
-        .par_iter_mut()
-        .for_each(|v| *v = if *v >= 0.0 { *v } else { alpha * (v.exp() - 1.0) });
+    m.data_mut().par_iter_mut().for_each(|v| {
+        *v = if *v >= 0.0 {
+            *v
+        } else {
+            alpha * (v.exp() - 1.0)
+        }
+    });
 }
 
 /// Numerically-stable row softmax in place.

@@ -72,8 +72,16 @@ fn centroid_accuracy(x: &Matrix, labels: &[usize]) -> f64 {
             let row = x.row(v);
             let best = (0..COMMUNITIES)
                 .min_by(|&a, &b| {
-                    let da: f32 = row.iter().zip(&centroids[a]).map(|(x, c)| (x - c).powi(2)).sum();
-                    let db: f32 = row.iter().zip(&centroids[b]).map(|(x, c)| (x - c).powi(2)).sum();
+                    let da: f32 = row
+                        .iter()
+                        .zip(&centroids[a])
+                        .map(|(x, c)| (x - c).powi(2))
+                        .sum();
+                    let db: f32 = row
+                        .iter()
+                        .zip(&centroids[b])
+                        .map(|(x, c)| (x - c).powi(2))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();
@@ -85,7 +93,9 @@ fn centroid_accuracy(x: &Matrix, labels: &[usize]) -> f64 {
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(1433);
-    let labels: Vec<usize> = (0..PAPERS).map(|_| rng.random_range(0..COMMUNITIES)).collect();
+    let labels: Vec<usize> = (0..PAPERS)
+        .map(|_| rng.random_range(0..COMMUNITIES))
+        .collect();
     let graph = citation_graph(&labels, &mut rng);
     println!("citation graph: {}", tlpgnn_graph::GraphStats::of(&graph));
 

@@ -40,7 +40,10 @@ fn main() {
     });
 
     let diff = out_native.max_abs_diff(&out_sim);
-    println!("output shape: {:?} (per-vertex class log-probabilities)", out_native.shape());
+    println!(
+        "output shape: {:?} (per-vertex class log-probabilities)",
+        out_native.shape()
+    );
     println!("native vs simulated max abs diff: {diff:.2e}");
     assert!(diff < 1e-3);
     println!("native CPU forward:   {native_ms:.1} ms wall clock");

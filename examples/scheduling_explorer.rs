@@ -50,7 +50,11 @@ fn main() {
         } else {
             "software"
         };
-        let pick = match engine.options.heuristic.choose(g.num_vertices(), g.avg_degree()) {
+        let pick = match engine
+            .options
+            .heuristic
+            .choose(g.num_vertices(), g.avg_degree())
+        {
             Assignment::Hardware { .. } => "hardware",
             Assignment::Software { .. } => "software",
         };

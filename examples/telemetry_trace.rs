@@ -43,10 +43,7 @@ fn main() {
     let snap = c.metrics().snapshot();
     for (name, h) in &snap.histograms {
         if name.ends_with(".gpu_time_ms") {
-            println!(
-                "{name}: n={} p50={:.4} p99={:.4}",
-                h.count, h.p50, h.p99
-            );
+            println!("{name}: n={} p50={:.4} p99={:.4}", h.count, h.p50, h.p99);
         }
     }
     println!("\nwrote results/example.trace.json — open it in https://ui.perfetto.dev");

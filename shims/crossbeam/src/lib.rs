@@ -1,0 +1,59 @@
+//! Offline stand-in for the parts of `crossbeam` this workspace uses.
+
+/// Utilities (`crossbeam::utils`).
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes so adjacent values never share
+    /// a cache line (false-sharing avoidance for hot atomics).
+    #[derive(Debug, Default, Clone, Copy)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wrap `value` in cache-line padding.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Unwrap the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn padded_is_aligned_and_transparent() {
+        let c = CachePadded::new(AtomicUsize::new(7));
+        assert_eq!(std::mem::align_of_val(&c), 128);
+        c.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(c.into_inner().into_inner(), 8);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations (no code path actually serializes through serde — JSON
+//! export goes through the std-only `telemetry` crate). This shim keeps
+//! those annotations compiling without network access: the traits are
+//! markers blanket-implemented for every type, and the derives expand to
+//! nothing.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

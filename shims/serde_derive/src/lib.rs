@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The companion `serde` shim blanket-implements its marker traits for
+//! every type, so these derives have nothing to generate: they exist only
+//! so `#[derive(Serialize, Deserialize)]` attributes across the workspace
+//! parse and resolve without the real `serde_derive`.
+
+use proc_macro::TokenStream;
+
+/// Derive `serde::Serialize` (a no-op under the offline shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive `serde::Deserialize` (a no-op under the offline shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -29,12 +29,30 @@ fn every_system_is_run_to_run_deterministic() {
     let x = Matrix::random(400, 32, 1.0, 502);
     let cfg = DeviceConfig::test_small();
     let build: Vec<(&str, SystemFactory)> = vec![
-        ("tlpgnn", Box::new(|| Box::new(TlpgnnSystem::new(DeviceConfig::test_small())))),
-        ("dgl", Box::new(|| Box::new(DglSystem::new(DeviceConfig::test_small())))),
-        ("featgraph", Box::new(|| Box::new(FeatGraphSystem::new(DeviceConfig::test_small())))),
-        ("advisor", Box::new(|| Box::new(AdvisorSystem::new(DeviceConfig::test_small())))),
-        ("push", Box::new(|| Box::new(PushSystem::new(DeviceConfig::test_small())))),
-        ("edge", Box::new(|| Box::new(EdgeCentricSystem::new(DeviceConfig::test_small())))),
+        (
+            "tlpgnn",
+            Box::new(|| Box::new(TlpgnnSystem::new(DeviceConfig::test_small()))),
+        ),
+        (
+            "dgl",
+            Box::new(|| Box::new(DglSystem::new(DeviceConfig::test_small()))),
+        ),
+        (
+            "featgraph",
+            Box::new(|| Box::new(FeatGraphSystem::new(DeviceConfig::test_small()))),
+        ),
+        (
+            "advisor",
+            Box::new(|| Box::new(AdvisorSystem::new(DeviceConfig::test_small()))),
+        ),
+        (
+            "push",
+            Box::new(|| Box::new(PushSystem::new(DeviceConfig::test_small()))),
+        ),
+        (
+            "edge",
+            Box::new(|| Box::new(EdgeCentricSystem::new(DeviceConfig::test_small()))),
+        ),
     ];
     let _ = cfg;
     for (name, mk) in &build {
@@ -61,6 +79,69 @@ fn dataset_synthesis_is_stable_across_calls() {
         let b = spec.synthesize(64);
         assert_eq!(a, b, "{} synthesis drifted", spec.abbr);
     }
+}
+
+/// The same kernel launch under two different device shapes (SM counts)
+/// must produce bit-identical outputs: every atomic-free kernel gives each
+/// vertex exactly one owner warp that accumulates sequentially, so block
+/// placement can change timing but never a result bit. Cycle counts are
+/// placement-dependent, so they differ *between* configs — but within one
+/// config they must reproduce exactly.
+#[test]
+fn atomic_free_kernels_bitwise_identical_across_device_shapes() {
+    use gpu_sim::Device;
+    use tlpgnn::{Aggregator, KernelVariant};
+
+    let g = generators::rmat_default(300, 2400, 601);
+    let x = Matrix::random(300, 24, 1.0, 602);
+    let narrow = DeviceConfig::test_small(); // 4 SMs
+    let mut wide = DeviceConfig::test_small();
+    wide.num_sms = 23; // co-prime with every block count in play
+
+    for variant in KernelVariant::all() {
+        let run = |cfg: &DeviceConfig| {
+            let mut dev = Device::new(cfg.clone());
+            variant.run(&mut dev, &g, &x, Aggregator::GcnSum)
+        };
+        let (out_a1, prof_a1) = run(&narrow);
+        let (out_a2, prof_a2) = run(&narrow);
+        let (out_b1, prof_b1) = run(&wide);
+        let (out_b2, prof_b2) = run(&wide);
+        // Per config: identical outputs and identical cycle counts.
+        assert_eq!(out_a1, out_a2, "{} drifted on 4 SMs", variant.label());
+        assert_eq!(out_b1, out_b2, "{} drifted on 23 SMs", variant.label());
+        assert_eq!(
+            prof_a1.gpu_cycles.to_bits(),
+            prof_a2.gpu_cycles.to_bits(),
+            "{} cycle count drifted on 4 SMs",
+            variant.label()
+        );
+        assert_eq!(
+            prof_b1.gpu_cycles.to_bits(),
+            prof_b2.gpu_cycles.to_bits(),
+            "{} cycle count drifted on 23 SMs",
+            variant.label()
+        );
+        // Across configs: outputs still bitwise equal.
+        assert_eq!(
+            out_a1,
+            out_b1,
+            "{} output depends on SM count",
+            variant.label()
+        );
+    }
+
+    // The fused engine (hybrid assignment, register cache) obeys the same
+    // law end to end.
+    let fused = |cfg: &DeviceConfig| {
+        let mut e = TlpgnnEngine::new(cfg.clone(), Default::default());
+        e.conv(&GnnModel::Gcn, &g, &x).0
+    };
+    assert_eq!(
+        fused(&narrow),
+        fused(&wide),
+        "fused kernel output depends on SM count"
+    );
 }
 
 #[test]

@@ -38,7 +38,11 @@ fn check_all_systems(g: &Csr, x: &Matrix, tag: &str) {
         }
         // Native engine too.
         let native = NativeEngine::default().conv(&model, g, x);
-        assert!(native.max_abs_diff(&want) < 1e-3, "[{tag}] native {}", model.name());
+        assert!(
+            native.max_abs_diff(&want) < 1e-3,
+            "[{tag}] native {}",
+            model.name()
+        );
     }
 }
 

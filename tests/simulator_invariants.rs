@@ -12,7 +12,10 @@ use tlpgnn_tensor::Matrix;
 fn profile_sanity(name: &str, util: f64, occ: f64, spr: f64) {
     assert!((0.0..=1.0).contains(&util), "{name}: util {util}");
     assert!((0.0..=1.0).contains(&occ), "{name}: occupancy {occ}");
-    assert!((0.0..=32.01).contains(&spr), "{name}: sectors/request {spr}");
+    assert!(
+        (0.0..=32.01).contains(&spr),
+        "{name}: sectors/request {spr}"
+    );
 }
 
 #[test]
@@ -60,8 +63,7 @@ fn kernel_profile_traffic_accounting() {
         tlpgnn::WorkSource::Hardware,
         true,
     );
-    let p: KernelProfile =
-        dev.launch(&k, gpu_sim::LaunchConfig::warp_per_item(gd.n, 256));
+    let p: KernelProfile = dev.launch(&k, gpu_sim::LaunchConfig::warp_per_item(gd.n, 256));
     assert!(p.load_bytes >= p.dram_load_bytes);
     assert!(p.mem_requests > 0);
     assert_eq!(p.atomic_requests, 0);
@@ -76,7 +78,8 @@ fn atomic_systems_pay_more_stall_than_pull() {
     let g = generators::rmat_default(600, 9000, 305);
     let x = Matrix::random(600, 32, 1.0, 306);
     let cfg = DeviceConfig::v100();
-    let (_, p_push) = PushSystem::new(cfg.clone()).run(tlpgnn::Aggregator::GinSum { eps: 0.0 }, &g, &x);
+    let (_, p_push) =
+        PushSystem::new(cfg.clone()).run(tlpgnn::Aggregator::GinSum { eps: 0.0 }, &g, &x);
     let (_, p_edge) =
         EdgeCentricSystem::new(cfg.clone()).run(tlpgnn::Aggregator::GinSum { eps: 0.0 }, &g, &x);
     let mut e = TlpgnnEngine::new(cfg, Default::default());

@@ -55,11 +55,7 @@ fn conv_produces_expected_span_tree() {
             .iter()
             .find(|s| s.name == child_name)
             .unwrap_or_else(|| panic!("{child_name} span recorded"));
-        assert_eq!(
-            child.parent,
-            Some(conv.id),
-            "{child_name} nests under conv"
-        );
+        assert_eq!(child.parent, Some(conv.id), "{child_name} nests under conv");
         assert_eq!(child.depth, conv.depth + 1);
         assert!(child.start_ns >= conv.start_ns && child.end_ns <= conv.end_ns);
     }
@@ -123,7 +119,10 @@ fn chrome_trace_export_of_real_run_is_valid_json() {
         .count();
     // 4 host spans (conv + upload/kernel/readback), 1 kernel launch
     // event, plus at least one per-SM block slice.
-    assert!(complete >= 6, "expected >= 6 complete events, got {complete}");
+    assert!(
+        complete >= 6,
+        "expected >= 6 complete events, got {complete}"
+    );
 
     let metrics = telemetry::export::metrics_json(c).to_string();
     let reparsed = telemetry::MetricsSnapshot::from_json_str(&metrics).expect("metrics reparse");
