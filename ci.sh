@@ -27,6 +27,15 @@ echo "=== conformance smoke ==="
 # non-zero (and prints the shrunk case) on any invariant violation.
 ./target/release/conformance_fuzz --seed 42 --iters 200 --no-save
 
+echo "=== perf gate ==="
+# Runs the pinned bench matrix through the deterministic simulator and
+# diffs per-workload cycles/peak-memory against the committed
+# BENCH_<seq>.json baseline, attributing any regression to the limiter
+# metrics that moved. Exits non-zero past the threshold. After an
+# intentional perf change, re-baseline with `perf_gate --bless` and
+# commit the new snapshot.
+./target/release/perf_gate
+
 echo "=== serve smoke ==="
 # Short serving workload; the binary re-reads results/serve_bench.metrics.json
 # and exits non-zero unless requests completed, nothing was dropped while

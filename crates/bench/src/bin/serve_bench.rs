@@ -362,6 +362,9 @@ fn main() {
     println!("\nbatching speedup (dynamic vs batch1): {speedup:.2}x");
 
     let telemetry_active = !std::env::var("TLPGNN_TELEMETRY").is_ok_and(|v| v == "0");
+    if telemetry_active {
+        print_latency_percentiles();
+    }
     drop(scope); // export results/serve_bench.* now so check() can read them back
 
     let mut failures = check(&phases, speedup, args.smoke, telemetry_active);
@@ -374,6 +377,42 @@ fn main() {
         }
         std::process::exit(1);
     }
+}
+
+/// Per-phase latency percentile table (end-to-end plus the queue /
+/// ego-graph-extraction / kernel stages), computed from the raw telemetry
+/// histograms the server records per request. Each cell is also published
+/// as a `serve_bench.<phase>.<stage>_p<q>_ms` gauge so it lands in
+/// `results/serve_bench.metrics.json` and is diffable with
+/// `telemetry-diff`. Must run before the telemetry scope drops.
+fn print_latency_percentiles() {
+    const STAGES: [(&str, &str); 4] = [
+        ("e2e", "e2e_latency_ms"),
+        ("queue", "queue_ms"),
+        ("extract", "extraction_ms"),
+        ("compute", "compute_ms"),
+    ];
+    let metrics = telemetry::collector().metrics();
+    let mut t = bench::Table::new(
+        "serve_bench: latency percentiles (ms)",
+        &["Phase", "stage", "p50", "p95", "p99", "samples"],
+    );
+    for phase in ["batch1", "dynamic", "cached", "overload"] {
+        for (stage, metric) in STAGES {
+            let Some(h) = metrics.histogram(&format!("serve.{phase}.{metric}")) else {
+                continue;
+            };
+            let mut row = vec![phase.to_string(), stage.to_string()];
+            for q in [50.0, 95.0, 99.0] {
+                let v = h.percentile(q);
+                telemetry::gauge_set(&format!("serve_bench.{phase}.{stage}_p{q:.0}_ms"), v);
+                row.push(bench::fmt_ms(v));
+            }
+            row.push(h.count().to_string());
+            t.row(row);
+        }
+    }
+    t.print();
 }
 
 /// The serving invariants this benchmark exists to demonstrate.

@@ -1,30 +1,76 @@
-//! **telemetry-diff** — compare two `*.metrics.json` snapshots and fail
-//! on drift.
+//! **telemetry-diff** — compare two telemetry snapshots and fail on
+//! drift.
 //!
 //! ```text
-//! telemetry-diff <old.metrics.json> <new.metrics.json> [--threshold 0.10]
+//! telemetry-diff <old.json> <new.json> [--threshold 0.10]
 //! ```
 //!
-//! Watched values are every counter, every gauge, and each histogram's
-//! `mean` and `p50`. Any watched metric whose relative change exceeds the
-//! threshold (default 10%) is printed and makes the tool exit non-zero —
-//! improvements too, since either direction means the stored baseline no
-//! longer describes the code. Metrics present in only one snapshot are
-//! reported but do not fail the run.
+//! Accepts two snapshot kinds, auto-detected from the file contents:
+//!
+//! * `*.metrics.json` (a telemetry [`MetricsSnapshot`]): watched values
+//!   are every counter, every gauge, and each histogram's `mean` and
+//!   `p50`. Any watched metric whose relative change exceeds the
+//!   threshold (default 10%) is printed and makes the tool exit
+//!   non-zero — improvements too, since either direction means the
+//!   stored baseline no longer describes the code. Metrics present in
+//!   only one snapshot are reported but do not fail the run.
+//! * `BENCH_<seq>.json` perf-gate snapshots (they carry a `"schema"`
+//!   field): routed through the `tlpgnn-perfgate` diff engine, printing
+//!   the limiter-attribution report and exiting non-zero on any
+//!   regression beyond the threshold (default 0.5%), so the tool
+//!   composes with `perf_gate` artifacts.
 
 use telemetry::{diff, MetricsSnapshot};
+use tlpgnn_perfgate::gate::{self, GateConfig};
+use tlpgnn_perfgate::snapshot::Snapshot;
 
 fn usage() -> ! {
-    eprintln!("usage: telemetry-diff <old.metrics.json> <new.metrics.json> [--threshold 0.10]");
+    eprintln!("usage: telemetry-diff <old.json> <new.json> [--threshold 0.10]");
+    eprintln!("  accepts *.metrics.json pairs or BENCH_<seq>.json pairs (auto-detected)");
     std::process::exit(2);
 }
 
-fn load(path: &str) -> MetricsSnapshot {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("telemetry-diff: cannot read {path}: {e}");
         std::process::exit(2);
-    });
-    MetricsSnapshot::from_json_str(&text).unwrap_or_else(|e| {
+    })
+}
+
+fn is_bench_snapshot(text: &str) -> bool {
+    telemetry::json::parse(text)
+        .ok()
+        .and_then(|v| v.get("schema").and_then(|s| s.as_str().map(str::to_string)))
+        .is_some()
+}
+
+fn load_bench(path: &str, text: &str) -> Snapshot {
+    Snapshot::from_json_str(text).unwrap_or_else(|e| {
+        eprintln!("telemetry-diff: {path} is not a bench snapshot: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn diff_bench(old: Snapshot, new: Snapshot, threshold: Option<f64>) -> ! {
+    let mut cfg = GateConfig::default();
+    if let Some(t) = threshold {
+        cfg.threshold = t;
+    }
+    println!(
+        "bench snapshot diff: seq {} (git {}) -> seq {} (git {}) at threshold {:.2}%",
+        old.seq,
+        old.git_sha,
+        new.seq,
+        new.git_sha,
+        cfg.threshold * 100.0
+    );
+    let report = gate::compare(&old, &new, &cfg);
+    print!("{}", report.render());
+    std::process::exit(if report.passed() { 0 } else { 1 });
+}
+
+fn load(path: &str, text: &str) -> MetricsSnapshot {
+    MetricsSnapshot::from_json_str(text).unwrap_or_else(|e| {
         eprintln!("telemetry-diff: {path} is not a metrics snapshot: {e}");
         std::process::exit(2);
     })
@@ -33,16 +79,17 @@ fn load(path: &str) -> MetricsSnapshot {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
-    let mut threshold = 0.10f64;
+    let mut threshold: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--threshold" | "-t" => {
                 i += 1;
-                threshold = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+                threshold = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--help" | "-h" => usage(),
             p => paths.push(p),
@@ -52,8 +99,27 @@ fn main() {
     if paths.len() != 2 {
         usage();
     }
-    let old = load(paths[0]);
-    let new = load(paths[1]);
+    let old_text = read(paths[0]);
+    let new_text = read(paths[1]);
+    match (is_bench_snapshot(&old_text), is_bench_snapshot(&new_text)) {
+        (true, true) => diff_bench(
+            load_bench(paths[0], &old_text),
+            load_bench(paths[1], &new_text),
+            threshold,
+        ),
+        (false, false) => {}
+        _ => {
+            eprintln!(
+                "telemetry-diff: cannot mix a bench snapshot with a metrics snapshot \
+                 ({} vs {})",
+                paths[0], paths[1]
+            );
+            std::process::exit(2);
+        }
+    }
+    let old = load(paths[0], &old_text);
+    let new = load(paths[1], &new_text);
+    let threshold = threshold.unwrap_or(0.10);
     let report = diff::diff(&old, &new, threshold);
 
     println!(

@@ -144,6 +144,8 @@ impl Table {
 ///   summaries (p50/p90/p99), diffable with the `telemetry-diff` tool.
 /// * `<name>.events.jsonl` — flat span/kernel event log, one JSON per
 ///   line, for ad-hoc scripting.
+/// * `<name>.folded.txt` — folded stacks over the recorded spans; feed
+///   to `flamegraph.pl` or drop into speedscope for a flame graph.
 pub struct TelemetryScope {
     name: String,
     dir: std::path::PathBuf,
@@ -176,15 +178,18 @@ impl Drop for TelemetryScope {
         let trace = self.dir.join(format!("{}.trace.json", self.name));
         let metrics = self.dir.join(format!("{}.metrics.json", self.name));
         let events = self.dir.join(format!("{}.events.jsonl", self.name));
+        let folded = self.dir.join(format!("{}.folded.txt", self.name));
         let r = telemetry::export::write_chrome_trace(c, &trace)
             .and_then(|()| telemetry::export::write_metrics_json(c, &metrics))
-            .and_then(|()| telemetry::export::write_events_jsonl(c, &events));
+            .and_then(|()| telemetry::export::write_events_jsonl(c, &events))
+            .and_then(|()| telemetry::export::write_folded_stacks(c, &folded));
         match r {
             Ok(()) => eprintln!(
-                "telemetry: wrote {}, {}, {}",
+                "telemetry: wrote {}, {}, {}, {}",
                 trace.display(),
                 metrics.display(),
-                events.display()
+                events.display(),
+                folded.display()
             ),
             Err(e) => eprintln!("telemetry: export failed: {e}"),
         }

@@ -173,6 +173,19 @@ impl LimiterBreakdown {
             .map(|(_, n)| n)
             .unwrap_or("none")
     }
+
+    /// Every cost-model term as `(name, cycles)`, in declaration order.
+    /// The perf gate records these per workload so a cycle regression can
+    /// be attributed to the term(s) that moved.
+    pub fn terms(&self) -> [(&'static str, f64); 5] {
+        [
+            ("issue", self.issue),
+            ("bandwidth", self.bandwidth),
+            ("latency", self.latency),
+            ("critical_warp", self.critical_warp),
+            ("scheduling", self.scheduling),
+        ]
+    }
 }
 
 impl KernelProfile {
@@ -219,6 +232,45 @@ impl KernelProfile {
             ("blocks_run", "blocks", self.blocks_run as f64),
             ("peak_mem_bytes", "bytes", self.peak_mem_bytes as f64),
         ]
+    }
+
+    /// The stable per-launch metric snapshot the perf gate serializes
+    /// into `BENCH_<seq>.json`: [`Self::metrics`] (minus the launch-shape
+    /// fields, which the gate pins via the config fingerprint instead)
+    /// plus the per-term limiter breakdown under `limiter.<term>` and the
+    /// atomic transaction count. Names are part of the snapshot schema —
+    /// renaming one invalidates committed baselines, so don't.
+    pub fn gate_metrics(&self) -> Vec<(&'static str, f64)> {
+        let mut out: Vec<(&'static str, f64)> = vec![
+            ("gpu_cycles", self.gpu_cycles),
+            ("gpu_time_ms", self.gpu_time_ms),
+            ("runtime_ms", self.runtime_ms),
+            ("sm_utilization", self.sm_utilization),
+            ("achieved_occupancy", self.achieved_occupancy),
+            ("simd_efficiency", self.simd_efficiency),
+            ("sectors_per_request", self.sectors_per_request),
+            ("stall_long_scoreboard", self.stall_long_scoreboard),
+            ("l1_hit_rate", self.l1_hit_rate),
+            ("l2_hit_rate", self.l2_hit_rate),
+            ("load_bytes", self.load_bytes as f64),
+            ("dram_load_bytes", self.dram_load_bytes as f64),
+            ("store_bytes", self.store_bytes as f64),
+            ("atomic_bytes", self.atomic_bytes as f64),
+            ("mem_requests", self.mem_requests as f64),
+            ("atomic_transactions", self.atomic_requests as f64),
+            ("insts", self.insts as f64),
+            ("warps_run", self.warps_run as f64),
+            ("blocks_run", self.blocks_run as f64),
+            ("peak_mem_bytes", self.peak_mem_bytes as f64),
+        ];
+        out.extend([
+            ("limiter.issue", self.limiter.issue),
+            ("limiter.bandwidth", self.limiter.bandwidth),
+            ("limiter.latency", self.limiter.latency),
+            ("limiter.critical_warp", self.limiter.critical_warp),
+            ("limiter.scheduling", self.limiter.scheduling),
+        ]);
+        out
     }
 }
 
@@ -446,6 +498,39 @@ mod tests {
             scheduling: f64::NAN,
         };
         let _ = all_nan.name();
+    }
+
+    #[test]
+    fn gate_metrics_carry_limiter_terms_and_unique_names() {
+        let mut p = sample(1.0, 0.5);
+        p.limiter = LimiterBreakdown {
+            issue: 1.0,
+            bandwidth: 9.0,
+            latency: 3.0,
+            critical_warp: 2.0,
+            scheduling: 0.5,
+        };
+        p.atomic_requests = 7;
+        let gm = p.gate_metrics();
+        let lookup = |name: &str| {
+            gm.iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("missing gate metric {name}"))
+                .1
+        };
+        assert_eq!(lookup("limiter.bandwidth"), 9.0);
+        assert_eq!(lookup("limiter.scheduling"), 0.5);
+        assert_eq!(lookup("atomic_transactions"), 7.0);
+        assert_eq!(lookup("gpu_time_ms"), 1.0);
+        // The snapshot schema relies on unique metric names.
+        let mut names: Vec<_> = gm.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), gm.len(), "duplicate gate metric name");
+        // terms() order and values match the named fields.
+        let terms = p.limiter.terms();
+        assert_eq!(terms[0], ("issue", 1.0));
+        assert_eq!(terms[4], ("scheduling", 0.5));
     }
 
     #[test]

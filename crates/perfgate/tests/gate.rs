@@ -1,0 +1,102 @@
+//! End-to-end gate tests on the smoke suite: byte-identical determinism,
+//! snapshot round-trips, and the injected-regression drill the issue
+//! demands — inflate a cost constant and assert the gate fails with the
+//! right limiter named in the attribution.
+
+use tlpgnn_perfgate::gate::{self, GateConfig};
+use tlpgnn_perfgate::snapshot::Snapshot;
+use tlpgnn_perfgate::suite::{self, Suite};
+
+#[test]
+fn back_to_back_runs_are_byte_identical() {
+    let s = Suite::smoke();
+    let a = suite::run(&s);
+    let b = suite::run(&s);
+    assert_eq!(
+        a.to_pretty_string(),
+        b.to_pretty_string(),
+        "the simulator is deterministic; two runs of one suite must serialize identically"
+    );
+}
+
+#[test]
+fn snapshot_survives_disk_roundtrip() {
+    let s = Suite::smoke();
+    let mut snap = suite::run(&s);
+    snap.seq = 1;
+    snap.git_sha = "test".to_string();
+    let dir = std::env::temp_dir().join(format!("tlpgnn-perfgate-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = tlpgnn_perfgate::snapshot::bench_path(&dir, 1);
+    snap.save(&path).unwrap();
+    let back = Snapshot::load(&path).unwrap();
+    assert_eq!(back, snap);
+    assert_eq!(tlpgnn_perfgate::snapshot::latest(&dir).unwrap().0, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn self_comparison_passes() {
+    let s = Suite::smoke();
+    let snap = suite::run(&s);
+    let report = gate::compare(&snap, &snap.clone(), &GateConfig::default());
+    assert!(report.passed(), "{}", report.render());
+    assert_eq!(report.compared, s.workloads.len());
+}
+
+#[test]
+fn injected_bandwidth_regression_fails_with_limiter_attributed() {
+    let baseline = suite::run(&Suite::smoke());
+
+    // Inflate the per-sector bandwidth cost 10x: every kernel with memory
+    // traffic gets slower, and the move is in the bandwidth cost term.
+    let mut slow = Suite::smoke();
+    slow.device.sector_bw_cycles *= 10.0;
+    let current = suite::run(&slow);
+    assert_eq!(
+        baseline.config_fingerprint, current.config_fingerprint,
+        "cost-model constants are not configuration; the gate must compare, not reject"
+    );
+
+    let report = gate::compare(&baseline, &current, &GateConfig::default());
+    assert!(!report.passed(), "10x bandwidth cost must trip the gate");
+    assert!(!report.regressions.is_empty());
+
+    // Every cycle regression must carry attribution, and at least one
+    // workload must name the bandwidth term as its top mover and end up
+    // bandwidth-limited.
+    let cycle_regs: Vec<_> = report
+        .regressions
+        .iter()
+        .filter(|r| r.metric == "gpu_cycles")
+        .collect();
+    assert!(!cycle_regs.is_empty(), "{}", report.render());
+    let bandwidth_blamed = cycle_regs.iter().any(|r| {
+        r.limiter_new == "bandwidth"
+            && r.attribution
+                .first()
+                .is_some_and(|m| m.metric == "limiter.bandwidth" && m.rel > 0.0)
+    });
+    assert!(
+        bandwidth_blamed,
+        "expected limiter.bandwidth as the top attributed mover somewhere:\n{}",
+        report.render()
+    );
+    assert!(report.render().contains("limiter.bandwidth"));
+}
+
+#[test]
+fn full_suite_covers_the_design_space() {
+    let s = Suite::full();
+    let ids: Vec<String> = s.workloads.iter().map(|w| w.id()).collect();
+    assert_eq!(ids.len(), 30, "5 kernels x 3 models x 2 graph families");
+    for needle in [
+        "fused/gcn/power_law",
+        "thread_per_vertex/gin/uniform",
+        "sub_warp_16/sage/power_law",
+        "cta_per_vertex/gcn/uniform",
+        "edge_parallel_second/sage/uniform",
+    ] {
+        assert!(ids.iter().any(|id| id == needle), "missing {needle}");
+    }
+}

@@ -104,6 +104,7 @@ impl ServerStats {
 struct MetricNames {
     queue_depth: String,
     batch_size: String,
+    queue_ms: String,
     extraction_ms: String,
     compute_ms: String,
     e2e_latency_ms: String,
@@ -119,6 +120,7 @@ impl MetricNames {
         Self {
             queue_depth: format!("{prefix}.queue_depth"),
             batch_size: format!("{prefix}.batch_size"),
+            queue_ms: format!("{prefix}.queue_ms"),
             extraction_ms: format!("{prefix}.extraction_ms"),
             compute_ms: format!("{prefix}.compute_ms"),
             e2e_latency_ms: format!("{prefix}.e2e_latency_ms"),
@@ -344,6 +346,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Vec<(Pending
     let mut rows: HashMap<u32, Vec<f32>> = HashMap::with_capacity(uniq.len());
     let mut miss_targets: Vec<u32> = Vec::new();
     {
+        let _span = telemetry::span!("serve.cache_lookup", targets = uniq.len());
         let mut cache = shared.cache.lock().unwrap();
         let hits_before = cache.hits();
         for &t in &uniq {
@@ -374,7 +377,10 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Vec<(Pending
             .max()
             .unwrap_or(shared.exact_hops);
         let t0 = Instant::now();
-        let ego = ego_graph(&shared.graph, &miss_targets, hops);
+        let ego = {
+            let _span = telemetry::span!("serve.extract", misses = miss_targets.len(), hops = hops);
+            ego_graph(&shared.graph, &miss_targets, hops)
+        };
         let feat_dim = shared.features.cols();
         let mut sub_feats = Matrix::zeros(ego.vertices.len(), feat_dim);
         for (local, &orig) in ego.vertices.iter().enumerate() {
@@ -386,7 +392,11 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Vec<(Pending
         telemetry::observe(&m.extraction_ms, extract_ms);
 
         let t1 = Instant::now();
-        let (out, _profile) = engine.classify_forward(&shared.net, &ego.csr, &sub_feats);
+        let out = {
+            let _span = telemetry::span!("serve.compute", vertices = ego.vertices.len());
+            let (out, _profile) = engine.classify_forward(&shared.net, &ego.csr, &sub_feats);
+            out
+        };
         compute_ms = ms(t1.elapsed());
         telemetry::observe(&m.compute_ms, compute_ms);
 
@@ -412,6 +422,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Vec<(Pending
     shared.batches.fetch_add(1, Ordering::Relaxed);
 
     // Assemble and deliver per-request responses.
+    let _respond = telemetry::span!("serve.respond", requests = batch.len());
     for (p, enqueued) in batch.iter() {
         let targets = &p.request.targets;
         let mut data = Vec::with_capacity(targets.len() * classes);
@@ -423,8 +434,10 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Vec<(Pending
             }
             data.extend_from_slice(row);
         }
+        let queue_ms = ms(picked_up.duration_since(*enqueued));
+        telemetry::observe(&m.queue_ms, queue_ms);
         let timing = RequestTiming {
-            queue_ms: ms(picked_up.duration_since(*enqueued)),
+            queue_ms,
             extract_ms,
             compute_ms,
             batch_size: batch.len(),

@@ -197,6 +197,70 @@ pub fn events_jsonl(c: &Collector) -> String {
     out
 }
 
+/// A frame name, made safe for the folded-stack line format: `;` is the
+/// frame separator and the weight is whitespace-delimited at end of line.
+fn folded_frame(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            ';' => ':',
+            c if c.is_control() => ' ',
+            c => c,
+        })
+        .collect()
+}
+
+/// Render completed spans as folded stacks — the input format of
+/// `flamegraph.pl`, inferno, and speedscope: one line per unique stack,
+/// `root;child;leaf <self_time_ns>`, sorted by stack.
+///
+/// The weight of each line is the span's *self* time (duration minus the
+/// summed durations of its direct children), so leaf-heavy hot paths
+/// dominate the flame graph instead of every ancestor double-counting
+/// its subtree. Spans from different threads with the same stack of
+/// names aggregate into one line.
+pub fn folded_stacks(c: &Collector) -> String {
+    use std::collections::{BTreeMap, HashMap};
+    let spans = c.spans_snapshot();
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for s in &spans {
+        if let Some(p) = s.parent {
+            *child_ns.entry(p).or_insert(0) += s.end_ns.saturating_sub(s.start_ns);
+        }
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for s in &spans {
+        let total = s.end_ns.saturating_sub(s.start_ns);
+        let self_ns = total.saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+        if self_ns == 0 {
+            continue;
+        }
+        let mut frames = vec![folded_frame(s.name)];
+        let mut cur = s.parent;
+        while let Some(pid) = cur {
+            // A parent id can be absent if the collector was reset while
+            // the parent guard was still open; treat the span as a root.
+            match by_id.get(&pid) {
+                Some(p) => {
+                    frames.push(folded_frame(p.name));
+                    cur = p.parent;
+                }
+                None => break,
+            }
+        }
+        frames.reverse();
+        *folded.entry(frames.join(";")).or_insert(0) += self_ns;
+    }
+    let mut out = String::new();
+    for (stack, ns) in folded {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
 fn write_text(path: &Path, text: &str) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
@@ -220,4 +284,10 @@ pub fn write_metrics_json(c: &Collector, path: impl AsRef<Path>) -> std::io::Res
 /// Write the JSONL event log to `path`.
 pub fn write_events_jsonl(c: &Collector, path: impl AsRef<Path>) -> std::io::Result<()> {
     write_text(path.as_ref(), &events_jsonl(c))
+}
+
+/// Write the folded-stack flamegraph input to `path` (feed to
+/// `flamegraph.pl` or drop into speedscope).
+pub fn write_folded_stacks(c: &Collector, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_text(path.as_ref(), &folded_stacks(c))
 }

@@ -164,6 +164,14 @@ impl Metrics {
             .observe(v);
     }
 
+    /// A clone of the named histogram with its raw samples, for callers
+    /// that need percentiles beyond the fixed [`HistogramSummary`] set
+    /// (e.g. p95 latency tables). `None` if nothing was observed under
+    /// that name.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.hists.lock().unwrap().get(name).cloned()
+    }
+
     /// Drop every metric.
     pub fn reset(&self) {
         self.counters.lock().unwrap().clear();
