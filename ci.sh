@@ -34,7 +34,13 @@ echo "=== perf gate ==="
 # metrics that moved. Exits non-zero past the threshold. After an
 # intentional perf change, re-baseline with `perf_gate --bless` and
 # commit the new snapshot.
+#
+# The fault-injection layer must be invisible when disabled: with
+# FaultPlan::none() (every gate workload) the committed baseline stays
+# byte-identical, checked via sha256 around the gate run.
+bench_baseline_sha="$(sha256sum BENCH_*.json)"
 ./target/release/perf_gate
+echo "${bench_baseline_sha}" | sha256sum --check --quiet -
 
 echo "=== serve smoke ==="
 # Short serving workload; the binary re-reads results/serve_bench.metrics.json
@@ -42,5 +48,13 @@ echo "=== serve smoke ==="
 # idle, the cache registered hits, and the overload burst saw rejections.
 mkdir -p results
 ./target/release/serve_bench --smoke
+
+echo "=== chaos smoke ==="
+# Seeded fault-injection scenarios (transient storm, device loss,
+# straggler, overload+faults, cache poison, clean baseline) against the
+# serving stack. Each runs twice with the same seed and must produce an
+# identical event log; exits non-zero on any SLO violation (a hang, a
+# lost request, an unflagged wrong answer, unbounded requeueing).
+./target/release/chaos_bench --smoke
 
 echo "ci: all green"

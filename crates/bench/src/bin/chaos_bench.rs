@@ -1,0 +1,674 @@
+//! **chaos_bench** — seeded fault-injection chaos harness for the
+//! serving stack.
+//!
+//! Runs six scenarios against `tlpgnn-serve`, each driven by a
+//! deterministic `gpu_sim::FaultPlan` (or the server's chaos hook), and
+//! asserts the service-level invariants the resilience layer exists to
+//! uphold:
+//!
+//! * **Termination** — every submitted request terminally resolves with a
+//!   response or a typed error; no hangs, no leaked handles.
+//! * **No wrong answers** — a response not flagged degraded is bitwise
+//!   identical to the fault-free reference for its targets; degraded
+//!   responses are explicitly flagged.
+//! * **Bounded recovery** — a lost worker is respawned and its in-flight
+//!   batch requeued exactly once, so service resumes within one batch.
+//! * **Determinism** — all six scenarios run *twice* with the same seed
+//!   and must produce identical event logs (fault injection is a pure
+//!   function of `(seed, launch index)`, and racy scenarios log only
+//!   order-independent aggregates).
+//!
+//! Scenarios: `baseline` (no faults — the control), `transient_storm`
+//! (35% launch-failure rate, retried to success), `device_loss`
+//! (permanent mid-batch device death → respawn + requeue), `straggler`
+//! (every launch 6× slower, results still exact), `overload_faults`
+//! (concurrent burst + faults + deadlines against a small queue), and
+//! `cache_poison` (worker panics holding the cache lock → poison
+//! recovery + exactly-once requeue).
+//!
+//! Writes `results/chaos_bench.json` (per-scenario verdicts) plus the
+//! standard telemetry exports, and exits non-zero on any SLO violation
+//! or determinism mismatch. Flags: `--vertices`, `--edges`, `--feat`,
+//! `--hidden`, `--classes`, `--requests`, `--seed`, `--smoke` (small
+//! graph + short run, for CI).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gpu_sim::FaultPlan;
+use tlpgnn::{GnnModel, GnnNetwork};
+use tlpgnn_bench as bench;
+use tlpgnn_graph::{generators, Csr};
+use tlpgnn_serve::{GnnServer, Request, RetryPolicy, ServeConfig, ServeError};
+use tlpgnn_tensor::Matrix;
+
+/// Vertices the scenarios draw their targets from. Small enough that the
+/// reference pass is cheap, large enough to exercise cache misses.
+const POOL: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Args {
+    vertices: usize,
+    edges: usize,
+    feat: usize,
+    hidden: usize,
+    classes: usize,
+    requests: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            vertices: 2_000,
+            edges: 10_000,
+            feat: 8,
+            hidden: 8,
+            classes: 4,
+            requests: 48,
+            seed: 42,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--smoke" {
+            a.smoke = true;
+            continue;
+        }
+        let v = it
+            .next()
+            .unwrap_or_else(|| panic!("flag {flag} needs a value"));
+        match flag.as_str() {
+            "--vertices" => a.vertices = v.parse().expect("--vertices"),
+            "--edges" => a.edges = v.parse().expect("--edges"),
+            "--feat" => a.feat = v.parse().expect("--feat"),
+            "--hidden" => a.hidden = v.parse().expect("--hidden"),
+            "--classes" => a.classes = v.parse().expect("--classes"),
+            "--requests" => a.requests = v.parse().expect("--requests"),
+            "--seed" => a.seed = v.parse().expect("--seed"),
+            other => panic!("unknown flag {other} (see chaos_bench source for the flag list)"),
+        }
+    }
+    if a.smoke {
+        a.vertices = a.vertices.min(600);
+        a.edges = a.edges.min(3_000);
+        a.requests = a.requests.min(12);
+    }
+    a
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the bit patterns of a float row — the "is this answer
+/// bitwise right" fingerprint.
+fn hash_row(row: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in row {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Everything the scenarios share: the graph, the model, the target
+/// pool, and the fault-free reference hash of every pool vertex's output
+/// row.
+struct Fixture {
+    g: Csr,
+    x: Matrix,
+    net: GnnNetwork,
+    pool: Vec<u32>,
+    /// Reference output row per pool vertex, computed fault-free with
+    /// single-target extraction.
+    expected_rows: Vec<Vec<f32>>,
+    /// Bitwise fingerprint of each reference row. Valid for comparison
+    /// only when the batch composition matches the reference (sequential
+    /// single-target scenarios): batching relabels the extracted
+    /// subgraph, which permutes float-summation order and legitimately
+    /// perturbs the last bits.
+    expected: Vec<u64>,
+}
+
+impl Fixture {
+    fn build(args: &Args) -> Self {
+        let g = generators::rmat_default(args.vertices, args.edges, args.seed);
+        let x = Matrix::random(args.vertices, args.feat, 1.0, args.seed ^ 0xfea7);
+        let net = GnnNetwork::two_layer(
+            |_| GnnModel::Gcn,
+            args.feat,
+            args.hidden,
+            args.classes,
+            args.seed ^ 0x9e7,
+        );
+        let pool: Vec<u32> = (0..POOL)
+            .map(|i| (i * args.vertices / POOL) as u32)
+            .collect();
+        // Fault-free reference: one clean single-worker server, one
+        // request per pool vertex.
+        let server = GnnServer::start(
+            base_config("chaos.reference", args, 0),
+            g.clone(),
+            x.clone(),
+            net.clone(),
+        );
+        let expected_rows: Vec<Vec<f32>> = pool
+            .iter()
+            .map(|&v| {
+                let resp = server
+                    .submit(Request::new(vec![v]))
+                    .expect("reference submit")
+                    .wait()
+                    .expect("reference request must be served");
+                resp.outputs.data().to_vec()
+            })
+            .collect();
+        server.shutdown();
+        let expected = expected_rows.iter().map(|r| hash_row(r)).collect();
+        Self {
+            g,
+            x,
+            net,
+            pool,
+            expected_rows,
+            expected,
+        }
+    }
+
+    fn server(&self, cfg: ServeConfig) -> GnnServer {
+        GnnServer::start(cfg, self.g.clone(), self.x.clone(), self.net.clone())
+    }
+
+    /// The `i`-th target of a scenario's request stream (seeded draw
+    /// from the pool).
+    fn target(&self, seed: u64, i: usize) -> u32 {
+        self.pool[(splitmix64(seed ^ (i as u64).wrapping_mul(0x51ed)) as usize) % POOL]
+    }
+
+    fn expected_for(&self, target: u32) -> u64 {
+        self.expected[self.pool.iter().position(|&v| v == target).unwrap()]
+    }
+}
+
+fn base_config(prefix: &str, args: &Args, cache: usize) -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 64,
+        cache_capacity: cache,
+        // Generous, fast retry budget: chaos runs care about invariants,
+        // not wall-clock realism.
+        retry: RetryPolicy {
+            max_retries: 64,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(200),
+            seed: args.seed,
+            ..RetryPolicy::default()
+        },
+        metrics_prefix: prefix.to_string(),
+        ..ServeConfig::default()
+    }
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    requests: u64,
+    /// Deterministic event log; must be identical across same-seed runs.
+    log: Vec<String>,
+    /// SLO violations (empty = pass).
+    fails: Vec<String>,
+}
+
+impl ScenarioResult {
+    fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            requests: 0,
+            log: Vec::new(),
+            fails: Vec::new(),
+        }
+    }
+
+    fn check(&mut self, ok: bool, msg: impl Into<String>) {
+        if !ok {
+            self.fails.push(msg.into());
+        }
+    }
+}
+
+/// Drive `n` sequential submit-then-wait requests, logging each
+/// per-request outcome and checking the answer against the reference.
+/// Returns how many resolved `Ok`.
+fn sequential_requests(
+    r: &mut ScenarioResult,
+    fx: &Fixture,
+    server: &GnnServer,
+    seed: u64,
+    n: usize,
+) -> u64 {
+    let mut oks = 0u64;
+    for i in 0..n {
+        let t = fx.target(seed, i);
+        let outcome = match server.submit(Request::new(vec![t])) {
+            Ok(h) => h.wait(),
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok(resp) => {
+                oks += 1;
+                let h = hash_row(resp.outputs.data());
+                if !resp.degraded.any() {
+                    r.check(
+                        h == fx.expected_for(t),
+                        format!("req {i} target {t}: undegraded answer differs from reference"),
+                    );
+                }
+                r.log.push(format!(
+                    "req={i} target={t} outcome=ok hash={h:016x} degraded={}",
+                    resp.degraded.any()
+                ));
+            }
+            Err(e) => r.log.push(format!("req={i} target={t} outcome=err:{e}")),
+        }
+    }
+    r.requests += n as u64;
+    oks
+}
+
+/// Scenario 1 — no faults. The control: everything resolves `Ok`,
+/// exact, undegraded, with zero resilience machinery engaged.
+fn baseline(fx: &Fixture, args: &Args) -> ScenarioResult {
+    let mut r = ScenarioResult::new("baseline");
+    let server = fx.server(base_config("chaos.baseline", args, 256));
+    let oks = sequential_requests(&mut r, fx, &server, args.seed ^ 0xba5e, args.requests);
+    let s = server.shutdown();
+    r.check(oks == args.requests as u64, "not every request resolved Ok");
+    r.check(s.completed == args.requests as u64, "completed != offered");
+    r.check(
+        s.retries == 0 && s.worker_deaths == 0 && s.device_faults == 0 && s.degraded == 0,
+        "clean run engaged resilience machinery",
+    );
+    r.log.push(format!(
+        "completed={} retries={} deaths={} degraded={}",
+        s.completed, s.retries, s.worker_deaths, s.degraded
+    ));
+    r
+}
+
+/// Scenario 2 — a storm of transient launch faults (35% per attempt).
+/// Retry-with-backoff must absorb every one; answers stay bitwise exact.
+fn transient_storm(fx: &Fixture, args: &Args) -> ScenarioResult {
+    let mut r = ScenarioResult::new("transient_storm");
+    let mut cfg = base_config("chaos.transient", args, 0);
+    cfg.device.fault = FaultPlan::transient(args.seed ^ 0x7a, 0.35);
+    let server = fx.server(cfg);
+    let oks = sequential_requests(&mut r, fx, &server, args.seed ^ 0x5702, args.requests);
+    let s = server.shutdown();
+    r.check(oks == args.requests as u64, "not every request resolved Ok");
+    r.check(s.retries > 0, "a 35% fault rate must trigger retries");
+    r.check(s.device_faults == 0, "retry budget must absorb transients");
+    r.check(
+        s.worker_deaths == 0,
+        "transient faults must not kill workers",
+    );
+    r.log.push(format!(
+        "completed={} retries={} device_faults={}",
+        s.completed, s.retries, s.device_faults
+    ));
+    r
+}
+
+/// Scenario 3 — the device dies permanently mid-batch. The supervisor
+/// salvages the in-flight batch, requeues it exactly once, and respawns
+/// the worker on a healthy device; every request still resolves `Ok`.
+fn device_loss(fx: &Fixture, args: &Args) -> ScenarioResult {
+    let mut r = ScenarioResult::new("device_loss");
+    let mut cfg = base_config("chaos.lost", args, 0);
+    // A 2-layer forward is 2·L + 1 = 5 launches; dying at attempt 7
+    // kills the device in the middle of the second request's batch.
+    cfg.device.fault = FaultPlan::device_lost_at(7);
+    let server = fx.server(cfg);
+    let oks = sequential_requests(&mut r, fx, &server, args.seed ^ 0xdead, args.requests);
+    let s = server.shutdown();
+    r.check(
+        oks == args.requests as u64,
+        "recovery must serve every request, including the salvaged batch",
+    );
+    r.check(s.worker_deaths == 1, "exactly one death expected");
+    r.check(s.requeued == 1, "in-flight batch requeued exactly once");
+    r.check(s.respawns >= 1, "dead worker must be respawned");
+    r.check(s.worker_lost == 0, "no request may be failed terminally");
+    r.log.push(format!(
+        "completed={} deaths={} requeued={} worker_lost={}",
+        s.completed, s.worker_deaths, s.requeued, s.worker_lost
+    ));
+    r
+}
+
+/// Scenario 4 — every launch runs 6× slower (thermal throttling /
+/// noisy neighbor). Stragglers change simulated time only: results stay
+/// bitwise exact, nothing retries, nobody dies.
+fn straggler(fx: &Fixture, args: &Args) -> ScenarioResult {
+    let mut r = ScenarioResult::new("straggler");
+    let injected_before = fault_counter("sim.fault.straggler");
+    let mut cfg = base_config("chaos.straggler", args, 0);
+    cfg.device.fault = FaultPlan::straggler(args.seed ^ 0x51, 1.0, 6.0);
+    let server = fx.server(cfg);
+    let oks = sequential_requests(&mut r, fx, &server, args.seed ^ 0x5712, args.requests);
+    let s = server.shutdown();
+    let injected = fault_counter("sim.fault.straggler") - injected_before;
+    r.check(oks == args.requests as u64, "not every request resolved Ok");
+    r.check(
+        s.retries == 0 && s.worker_deaths == 0,
+        "stragglers are slow, not broken",
+    );
+    if telemetry::enabled() {
+        r.check(injected > 0, "rate-1.0 plan must record straggler events");
+    }
+    r.log.push(format!(
+        "completed={} straggler_events={injected}",
+        s.completed
+    ));
+    r
+}
+
+fn fault_counter(name: &str) -> u64 {
+    telemetry::collector()
+        .metrics()
+        .snapshot()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Scenario 5 — concurrent burst past a small queue, with transient
+/// faults and per-request deadlines on half the stream. Scheduling is
+/// racy, so the log carries only order-independent aggregates; the
+/// invariants are *every* submission terminally resolves and no
+/// unflagged answer is wrong.
+fn overload_faults(fx: &Fixture, args: &Args) -> ScenarioResult {
+    let mut r = ScenarioResult::new("overload_faults");
+    let mut cfg = base_config("chaos.overload", args, 64);
+    cfg.workers = 2;
+    cfg.queue_capacity = 8;
+    cfg.device.fault = FaultPlan::transient(args.seed ^ 0x01d, 0.15);
+    let server = Arc::new(fx.server(cfg));
+    let clients = 4usize;
+    let per_client = args.requests.max(4);
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let server = Arc::clone(&server);
+        let seed = args.seed ^ 0x01d ^ ((c as u64) << 40);
+        let (pool, expected_rows) = (fx.pool.clone(), fx.expected_rows.clone());
+        threads.push(std::thread::spawn(move || {
+            let (mut resolved, mut wrong) = (0u64, 0u64);
+            for i in 0..per_client {
+                let idx = (splitmix64(seed ^ (i as u64)) as usize) % POOL;
+                let t = pool[idx];
+                let mut req = Request::new(vec![t]);
+                if i % 2 == 1 {
+                    req = req.with_deadline(Duration::from_millis(25));
+                }
+                let outcome = match server.submit(req) {
+                    Ok(h) => h.wait(),
+                    Err(e) => Err(e),
+                };
+                match outcome {
+                    Ok(resp) => {
+                        resolved += 1;
+                        // Batch composition is racy here, so rounding may
+                        // differ from the single-target reference by
+                        // summation order; "wrong" means beyond a tight
+                        // numeric tolerance, not beyond the last bit.
+                        let out = resp.outputs.data();
+                        let far = out.len() != expected_rows[idx].len()
+                            || out
+                                .iter()
+                                .zip(&expected_rows[idx])
+                                .any(|(a, b)| (a - b).abs() > 1e-4);
+                        if !resp.degraded.any() && far {
+                            wrong += 1;
+                        }
+                    }
+                    // Typed errors are terminal resolutions too.
+                    Err(
+                        ServeError::Overloaded
+                        | ServeError::DeadlineExceeded
+                        | ServeError::DeviceFault
+                        | ServeError::WorkerLost
+                        | ServeError::ShuttingDown,
+                    ) => resolved += 1,
+                    Err(_) => {}
+                }
+            }
+            (resolved, wrong)
+        }));
+    }
+    let (mut resolved, mut wrong) = (0u64, 0u64);
+    for t in threads {
+        let (res, wr) = t.join().expect("client thread");
+        resolved += res;
+        wrong += wr;
+    }
+    let submitted = (clients * per_client) as u64;
+    r.requests = submitted;
+    let s = Arc::try_unwrap(server)
+        .ok()
+        .expect("clients dropped")
+        .shutdown();
+    r.check(
+        resolved == submitted,
+        format!("only {resolved}/{submitted} submissions terminally resolved"),
+    );
+    r.check(wrong == 0, format!("{wrong} unflagged wrong answers"));
+    r.check(
+        s.completed <= submitted,
+        "served more requests than were submitted",
+    );
+    r.log.push(format!(
+        "submitted={submitted} resolved={resolved} wrong={wrong}"
+    ));
+    r
+}
+
+/// Scenario 6 — a worker panics while holding the cache lock (the chaos
+/// hook). The lock is poison-recovered, the cache invalidated, the batch
+/// requeued exactly once — and when the replacement hits the same panic,
+/// the request fails *terminally* instead of looping forever.
+fn cache_poison(fx: &Fixture, args: &Args) -> ScenarioResult {
+    let mut r = ScenarioResult::new("cache_poison");
+    let poisoned = fx.pool[POOL / 2];
+    let survivor = fx.pool[1];
+    let mut cfg = base_config("chaos.poison", args, 256);
+    cfg.chaos_panic_on_vertex = Some(poisoned);
+    let server = fx.server(cfg);
+    let bad = match server.submit(Request::new(vec![poisoned])) {
+        Ok(h) => h.wait(),
+        Err(e) => Err(e),
+    };
+    r.check(
+        matches!(bad, Err(ServeError::WorkerLost)),
+        format!("poisoned request must fail WorkerLost, got {bad:?}"),
+    );
+    r.log.push(format!(
+        "req=0 target={poisoned} outcome=err:{}",
+        ServeError::WorkerLost
+    ));
+    let good = match server.submit(Request::new(vec![survivor])) {
+        Ok(h) => h.wait(),
+        Err(e) => Err(e),
+    };
+    match good {
+        Ok(resp) => {
+            let h = hash_row(resp.outputs.data());
+            r.check(
+                h == fx.expected_for(survivor),
+                "post-recovery answer differs from reference",
+            );
+            r.log
+                .push(format!("req=1 target={survivor} outcome=ok hash={h:016x}"));
+        }
+        Err(e) => {
+            r.fails
+                .push(format!("server must keep serving after the panic, got {e}"));
+            r.log
+                .push(format!("req=1 target={survivor} outcome=err:{e}"));
+        }
+    }
+    r.requests = 2;
+    let s = server.shutdown();
+    r.check(s.requeued == 1, "requeued exactly once");
+    r.check(s.worker_lost == 1, "second death fails the request");
+    r.check(s.worker_deaths == 2, "both generations hit the panic");
+    r.check(s.poison_recoveries >= 1, "cache lock poison must recover");
+    r.log.push(format!(
+        "deaths={} requeued={} worker_lost={} poison_recoveries={}",
+        s.worker_deaths, s.requeued, s.worker_lost, s.poison_recoveries
+    ));
+    r
+}
+
+fn run_all(fx: &Fixture, args: &Args) -> Vec<ScenarioResult> {
+    vec![
+        baseline(fx, args),
+        transient_storm(fx, args),
+        device_loss(fx, args),
+        straggler(fx, args),
+        overload_faults(fx, args),
+        cache_poison(fx, args),
+    ]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_report(results: &[ScenarioResult], determinism_ok: bool) -> std::io::Result<()> {
+    let dir = std::env::var("TLPGNN_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    std::fs::create_dir_all(&dir)?;
+    let mut out = String::from("{\n  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let fails: Vec<String> = r
+            .fails
+            .iter()
+            .map(|f| format!("\"{}\"", json_escape(f)))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"requests\": {}, \"pass\": {}, \"failures\": [{}]}}{}\n",
+            r.name,
+            r.requests,
+            r.fails.is_empty(),
+            fails.join(", "),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"deterministic\": {determinism_ok}\n}}\n"
+    ));
+    std::fs::write(std::path::Path::new(&dir).join("chaos_bench.json"), out)
+}
+
+fn main() {
+    let args = parse_args();
+    let scope = bench::telemetry_scope("chaos_bench");
+    bench::print_header("chaos_bench: fault-injection SLO gate for the serving stack");
+    println!(
+        "graph: rmat {}v/{}e | net: {}->{}->{} GCN | {} reqs/scenario | seed {} | {}",
+        args.vertices,
+        args.edges,
+        args.feat,
+        args.hidden,
+        args.classes,
+        args.requests,
+        args.seed,
+        if args.smoke { "smoke" } else { "full" },
+    );
+
+    let fx = Fixture::build(&args);
+    let t0 = Instant::now();
+    let first = run_all(&fx, &args);
+    let second = run_all(&fx, &args);
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    // Determinism gate: same seed, same process, same event log.
+    let mut determinism_fails = Vec::new();
+    for (a, b) in first.iter().zip(&second) {
+        if a.log != b.log {
+            let diverged = a
+                .log
+                .iter()
+                .zip(&b.log)
+                .position(|(x, y)| x != y)
+                .map(|i| format!("first divergence at line {i}"))
+                .unwrap_or_else(|| {
+                    format!("log lengths differ ({} vs {})", a.log.len(), b.log.len())
+                });
+            determinism_fails.push(format!(
+                "{}: event logs differ across same-seed runs ({diverged})",
+                a.name
+            ));
+        }
+    }
+
+    let mut t = bench::Table::new(
+        "chaos_bench: scenario verdicts",
+        &["Scenario", "Requests", "Log lines", "SLO", "Deterministic"],
+    );
+    for (a, b) in first.iter().zip(&second) {
+        t.row(vec![
+            a.name.to_string(),
+            a.requests.to_string(),
+            a.log.len().to_string(),
+            if a.fails.is_empty() && b.fails.is_empty() {
+                "pass".into()
+            } else {
+                "FAIL".into()
+            },
+            if a.log == b.log {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    t.print();
+    println!(
+        "\nchaos_bench: 2x{} scenarios in {elapsed:.1}s",
+        first.len()
+    );
+
+    if let Err(e) = write_report(&first, determinism_fails.is_empty()) {
+        eprintln!("chaos_bench: cannot write report: {e}");
+    }
+    drop(scope);
+
+    let mut failures: Vec<String> = determinism_fails;
+    for r in first.iter().chain(&second) {
+        for f in &r.fails {
+            failures.push(format!("{}: {f}", r.name));
+        }
+    }
+    if failures.is_empty() {
+        println!("chaos_bench: all SLO invariants hold, event logs reproducible");
+    } else {
+        failures.dedup();
+        for f in &failures {
+            eprintln!("chaos_bench: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

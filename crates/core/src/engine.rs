@@ -5,7 +5,7 @@
 //! paper's whole pipeline (two-level parallelism, hybrid workload
 //! balancing, kernel fusion, register caching) behind one `conv` call.
 
-use gpu_sim::{Device, DeviceConfig, Kernel, OpProfile};
+use gpu_sim::{Device, DeviceConfig, Kernel, LaunchError, OpProfile};
 use tlpgnn_graph::Csr;
 use tlpgnn_tensor::Matrix;
 
@@ -93,37 +93,53 @@ impl TlpgnnEngine {
     /// Run one graph convolution, returning the aggregated features and
     /// the operation profile. All of TLPGNN runs in **one kernel launch**.
     pub fn conv(&mut self, model: &GnnModel, g: &Csr, x: &Matrix) -> (Matrix, OpProfile) {
+        self.try_conv(model, g, x)
+            .unwrap_or_else(|e| panic!("unhandled launch fault: {e}"))
+    }
+
+    /// Fallible [`Self::conv`]: surfaces an injected device fault instead
+    /// of panicking. On error every buffer the call uploaded has been
+    /// freed, and — because the whole convolution is **one** fused kernel
+    /// launch that aborts before execution — there is no partial state to
+    /// reconcile: the call can simply be retried.
+    pub fn try_conv(
+        &mut self,
+        model: &GnnModel,
+        g: &Csr,
+        x: &Matrix,
+    ) -> Result<(Matrix, OpProfile), LaunchError> {
         let _span = telemetry::span!(
             "tlpgnn.conv",
             model = model.name(),
             vertices = g.num_vertices(),
             edges = g.num_edges()
         );
-        if let Some(result) = self.conv_packed(model, g, x) {
-            return result;
+        if let Some(result) = self.try_conv_packed(model, g, x)? {
+            return Ok(result);
         }
         let assignment = self.assignment_for(g);
-        self.conv_with(model, g, x, assignment, self.options.reg_cache)
+        self.try_conv_with(model, g, x, assignment, self.options.reg_cache)
     }
 
     /// Narrow-feature packed convolution: `32 / feat_dim` vertices share
     /// one warp via the sub-warp kernel, recovering the lanes the plain
-    /// warp-per-vertex mapping would idle. Sum-family models only.
-    fn conv_packed(
+    /// warp-per-vertex mapping would idle. Sum-family models only;
+    /// `Ok(None)` when packing does not apply.
+    fn try_conv_packed(
         &mut self,
         model: &GnnModel,
         g: &Csr,
         x: &Matrix,
-    ) -> Option<(Matrix, OpProfile)> {
+    ) -> Result<Option<(Matrix, OpProfile)>, LaunchError> {
         let f = x.cols();
         if !self.options.pack_narrow_features || f == 0 || f > 16 || !f.is_power_of_two() {
-            return None;
+            return Ok(None);
         }
         let agg = match model {
             GnnModel::Gcn => Aggregator::GcnSum,
             GnnModel::Gin { eps } => Aggregator::GinSum { eps: *eps },
             GnnModel::Sage => Aggregator::SageMean,
-            GnnModel::Gat { .. } => return None,
+            GnnModel::Gat { .. } => return Ok(None),
         };
         let gd = {
             let _span = telemetry::span!("upload");
@@ -139,7 +155,14 @@ impl TlpgnnEngine {
         let mut op = OpProfile::new(format!("tlpgnn_packed_{}", model.name()));
         let p = {
             let _span = telemetry::span!("kernel", name = k.name());
-            self.device.launch(&k, lc)
+            self.device.try_launch(&k, lc)
+        };
+        let p = match p {
+            Ok(p) => p,
+            Err(e) => {
+                gd.free(&mut self.device);
+                return Err(e);
+            }
         };
         op.add(&p);
         op.add_framework_overhead_ms(self.options.dispatch_ms);
@@ -148,7 +171,7 @@ impl TlpgnnEngine {
             gd.read_output(&self.device)
         };
         gd.free(&mut self.device);
-        Some((out, op))
+        Ok(Some((out, op)))
     }
 
     /// Run one graph convolution under an explicit assignment and
@@ -161,6 +184,22 @@ impl TlpgnnEngine {
         assignment: Assignment,
         reg_cache: bool,
     ) -> (Matrix, OpProfile) {
+        self.try_conv_with(model, g, x, assignment, reg_cache)
+            .unwrap_or_else(|e| panic!("unhandled launch fault: {e}"))
+    }
+
+    /// Fallible [`Self::conv_with`]: on an injected fault, frees every
+    /// uploaded buffer (graph, features, GAT scores, software cursor) and
+    /// returns the error, leaving device memory exactly as before the
+    /// call.
+    pub fn try_conv_with(
+        &mut self,
+        model: &GnnModel,
+        g: &Csr,
+        x: &Matrix,
+        assignment: Assignment,
+        reg_cache: bool,
+    ) -> Result<(Matrix, OpProfile), LaunchError> {
         let gd = {
             let _span = telemetry::span!("upload");
             GraphOnDevice::upload(&mut self.device, g, x)
@@ -190,8 +229,10 @@ impl TlpgnnEngine {
             GnnModel::Gat { params } => {
                 let scores = GatScoresOnDevice::upload(&mut self.device, x, params);
                 let k = FusedGatKernel::new(gd, scores, work, reg_cache);
-                let _span = telemetry::span!("kernel", name = k.name());
-                let p = self.device.launch(&k, lc);
+                let p = {
+                    let _span = telemetry::span!("kernel", name = k.name());
+                    self.device.try_launch(&k, lc)
+                };
                 scores.free(&mut self.device);
                 p
             }
@@ -204,7 +245,17 @@ impl TlpgnnEngine {
                 };
                 let k = FusedConvKernel::new(gd, agg, work, reg_cache);
                 let _span = telemetry::span!("kernel", name = k.name());
-                self.device.launch(&k, lc)
+                self.device.try_launch(&k, lc)
+            }
+        };
+        let profile = match profile {
+            Ok(p) => p,
+            Err(e) => {
+                if let Some(c) = cursor {
+                    self.device.mem_mut().free(c);
+                }
+                gd.free(&mut self.device);
+                return Err(e);
             }
         };
         op.add(&profile);
@@ -218,7 +269,7 @@ impl TlpgnnEngine {
             self.device.mem_mut().free(c);
         }
         gd.free(&mut self.device);
-        (out, op)
+        Ok((out, op))
     }
 
     /// Run an edge-weighted aggregation
@@ -307,21 +358,35 @@ impl TlpgnnEngine {
         g: &Csr,
         x: &Matrix,
     ) -> (Matrix, OpProfile) {
+        self.try_layer_forward(layer, g, x)
+            .unwrap_or_else(|e| panic!("unhandled launch fault: {e}"))
+    }
+
+    /// Fallible [`Self::layer_forward`]: either of the layer's two
+    /// launches (fused conv, fused dense) may surface an injected fault;
+    /// both paths clean up their buffers, so the layer can be retried
+    /// whole.
+    pub fn try_layer_forward(
+        &mut self,
+        layer: &crate::model::GnnLayer,
+        g: &Csr,
+        x: &Matrix,
+    ) -> Result<(Matrix, OpProfile), LaunchError> {
         let _span = telemetry::span!("tlpgnn.layer_forward", model = layer.model.name());
-        let (agg, mut op) = self.conv(&layer.model, g, x);
+        let (agg, mut op) = self.try_conv(&layer.model, g, x)?;
         let combined = match layer.combine {
             crate::model::Combine::Replace => agg,
             crate::model::Combine::ConcatSelf => tlpgnn_tensor::ops::concat_cols(x, &agg),
         };
-        let (out, p_dense) = crate::kernels::dense::dense_forward_on_device(
+        let (out, p_dense) = crate::kernels::dense::try_dense_forward_on_device(
             &mut self.device,
             &layer.linear,
             &combined,
             layer.relu,
-        );
+        )?;
         op.add(&p_dense);
         op.add_framework_overhead_ms(self.options.dispatch_ms);
-        (out, op)
+        Ok((out, op))
     }
 
     /// Run a whole [`crate::model::GnnNetwork`] forward pass with every
@@ -334,11 +399,26 @@ impl TlpgnnEngine {
         g: &Csr,
         x: &Matrix,
     ) -> (Matrix, OpProfile) {
+        self.try_classify_forward(net, g, x)
+            .unwrap_or_else(|e| panic!("unhandled launch fault: {e}"))
+    }
+
+    /// Fallible [`Self::classify_forward`]. Layer outputs live on the
+    /// host between launches (each launch uploads its own inputs and
+    /// frees them), so a fault at any of the `2·L + 1` launches leaves no
+    /// device state behind — the serving layer retries the whole forward
+    /// pass.
+    pub fn try_classify_forward(
+        &mut self,
+        net: &crate::model::GnnNetwork,
+        g: &Csr,
+        x: &Matrix,
+    ) -> Result<(Matrix, OpProfile), LaunchError> {
         let _span = telemetry::span!("tlpgnn.classify_forward", layers = net.layers.len());
         let mut op = OpProfile::new("tlpgnn_network_forward");
         let mut h = x.clone();
         for layer in &net.layers {
-            let (out, layer_op) = self.layer_forward(layer, g, &h);
+            let (out, layer_op) = self.try_layer_forward(layer, g, &h)?;
             op.gpu_time_ms += layer_op.gpu_time_ms;
             op.runtime_ms += layer_op.runtime_ms;
             op.kernel_launches += layer_op.kernel_launches;
@@ -346,10 +426,10 @@ impl TlpgnnEngine {
             op.store_bytes += layer_op.store_bytes;
             h = out;
         }
-        let (out, p) = crate::kernels::dense::log_softmax_on_device(&mut self.device, &h);
+        let (out, p) = crate::kernels::dense::try_log_softmax_on_device(&mut self.device, &h)?;
         op.add(&p);
         op.add_framework_overhead_ms(self.options.dispatch_ms);
-        (out, op)
+        Ok((out, op))
     }
 
     /// Run one graph convolution on an explicit persistent grid
@@ -586,6 +666,66 @@ mod tests {
             .1
             .gpu_time_ms;
         assert!(t16 < t1);
+    }
+
+    #[test]
+    fn faulted_forward_frees_buffers_and_retries_clean() {
+        use gpu_sim::FaultPlan;
+        let g = generators::rmat_default(120, 900, 79);
+        let x = Matrix::random(120, 12, 1.0, 80);
+        let net = crate::model::GnnNetwork::two_layer(|_| GnnModel::Gcn, 12, 16, 5, 81);
+        // High transient rate: a 5-launch forward pass will fault often.
+        let cfg = DeviceConfig {
+            fault: FaultPlan::transient(5, 0.5),
+            ..DeviceConfig::test_small()
+        };
+        let mut e = TlpgnnEngine::new(cfg, EngineOptions::default());
+        let mut faults = 0;
+        let out = loop {
+            match e.try_classify_forward(&net, &g, &x) {
+                Ok((out, _)) => break out,
+                Err(gpu_sim::LaunchError::TransientFault { .. }) => {
+                    faults += 1;
+                    // Every buffer the failed attempt uploaded is freed.
+                    assert_eq!(e.device().mem().current_bytes(), 0, "leak after fault");
+                    assert!(faults < 200, "seed 5 at rate 0.5 should let a pass through");
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        };
+        assert!(
+            faults > 0,
+            "rate 0.5 should fault at least once in 5 launches"
+        );
+        // The retried result matches a fault-free engine bit for bit:
+        // transient faults abort before execution, so nothing accumulates.
+        let mut clean = engine();
+        let (want, _) = clean.classify_forward(&net, &g, &x);
+        assert_eq!(out.data(), want.data());
+        assert_eq!(e.device().mem().current_bytes(), 0);
+    }
+
+    #[test]
+    fn lost_device_surfaces_from_every_entry_point() {
+        use gpu_sim::{FaultPlan, LaunchError};
+        let g = generators::rmat_default(80, 400, 21);
+        let x = Matrix::random(80, 8, 1.0, 22);
+        let cfg = DeviceConfig {
+            fault: FaultPlan::device_lost_at(0),
+            ..DeviceConfig::test_small()
+        };
+        let mut e = TlpgnnEngine::new(cfg, EngineOptions::default());
+        assert!(matches!(
+            e.try_conv(&GnnModel::Gcn, &g, &x),
+            Err(LaunchError::DeviceLost)
+        ));
+        let layer = crate::model::GnnLayer::new(GnnModel::Gcn, 8, 4, 23);
+        assert!(matches!(
+            e.try_layer_forward(&layer, &g, &x),
+            Err(LaunchError::DeviceLost)
+        ));
+        assert!(e.device().is_lost());
+        assert_eq!(e.device().mem().current_bytes(), 0);
     }
 
     #[test]

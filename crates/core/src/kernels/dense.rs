@@ -95,6 +95,18 @@ pub fn dense_forward_on_device(
     x: &Matrix,
     relu: bool,
 ) -> (Matrix, gpu_sim::KernelProfile) {
+    try_dense_forward_on_device(dev, layer, x, relu)
+        .unwrap_or_else(|e| panic!("unhandled launch fault: {e}"))
+}
+
+/// Fallible [`dense_forward_on_device`]: an injected launch fault frees
+/// every buffer this call uploaded and returns the error.
+pub fn try_dense_forward_on_device(
+    dev: &mut Device,
+    layer: &Linear,
+    x: &Matrix,
+    relu: bool,
+) -> Result<(Matrix, gpu_sim::KernelProfile), gpu_sim::LaunchError> {
     assert_eq!(x.cols(), layer.in_dim(), "input dim mismatch");
     let rows = x.rows();
     let (id, od) = (layer.in_dim(), layer.out_dim());
@@ -117,8 +129,10 @@ pub fn dense_forward_on_device(
         out_dim: od,
         relu,
     };
-    let p = dev.launch(&k, LaunchConfig::warp_per_item(rows, 256));
-    let out = Matrix::from_vec(rows, od, dev.mem().read_vec(yb));
+    let p = dev.try_launch(&k, LaunchConfig::warp_per_item(rows, 256));
+    let out = p
+        .is_ok()
+        .then(|| Matrix::from_vec(rows, od, dev.mem().read_vec(yb)));
     let mem = dev.mem_mut();
     mem.free(xb);
     mem.free(wb);
@@ -126,7 +140,8 @@ pub fn dense_forward_on_device(
     if let Some(b) = bias {
         mem.free(b);
     }
-    (out, p)
+    let p = p?;
+    Ok((out.expect("output read on launch success"), p))
 }
 
 /// Row-wise log-softmax kernel: warp per row, three tiled passes (max,
@@ -200,13 +215,25 @@ impl Kernel for RowLogSoftmaxKernel {
 
 /// Run a row log-softmax on the device, in place over a host matrix.
 pub fn log_softmax_on_device(dev: &mut Device, x: &Matrix) -> (Matrix, gpu_sim::KernelProfile) {
+    try_log_softmax_on_device(dev, x).unwrap_or_else(|e| panic!("unhandled launch fault: {e}"))
+}
+
+/// Fallible [`log_softmax_on_device`]: an injected launch fault frees the
+/// uploaded buffer and returns the error.
+pub fn try_log_softmax_on_device(
+    dev: &mut Device,
+    x: &Matrix,
+) -> Result<(Matrix, gpu_sim::KernelProfile), gpu_sim::LaunchError> {
     let (rows, cols) = x.shape();
     let data = dev.mem_mut().alloc_from(x.data());
     let k = RowLogSoftmaxKernel { data, rows, cols };
-    let p = dev.launch(&k, LaunchConfig::warp_per_item(rows.max(1), 256));
-    let out = Matrix::from_vec(rows, cols, dev.mem().read_vec(data));
+    let p = dev.try_launch(&k, LaunchConfig::warp_per_item(rows.max(1), 256));
+    let out = p
+        .is_ok()
+        .then(|| Matrix::from_vec(rows, cols, dev.mem().read_vec(data)));
     dev.mem_mut().free(data);
-    (out, p)
+    let p = p?;
+    Ok((out.expect("output read on launch success"), p))
 }
 
 #[cfg(test)]

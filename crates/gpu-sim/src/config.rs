@@ -11,6 +11,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
+
 /// Number of threads in a warp. Fixed by the SIMT model (and by CUDA).
 pub const WARP_SIZE: usize = 32;
 
@@ -90,6 +92,12 @@ pub struct DeviceConfig {
     /// Host-side cost of launching one kernel, microseconds (driver +
     /// runtime dispatch; excludes any framework overhead a baseline adds).
     pub kernel_launch_us: f64,
+
+    // ---- fault injection ----
+    /// Deterministic fault schedule ([`FaultPlan::none`] by default: the
+    /// launch path takes a single branch and produces bitwise-identical
+    /// profiles to a build without the fault layer).
+    pub fault: FaultPlan,
 }
 
 impl DeviceConfig {
@@ -126,6 +134,7 @@ impl DeviceConfig {
             sync_cycles: 40,
             shared_latency: 24,
             kernel_launch_us: 4.0,
+            fault: FaultPlan::none(),
         }
     }
 

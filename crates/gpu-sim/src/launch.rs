@@ -52,6 +52,7 @@ use telemetry::{BlockSlice, KernelSample, SimKernelTimeline, SmTimeline, MAX_BLO
 
 use crate::cache::{SectorCache, SharedCache};
 use crate::config::{DeviceConfig, WARP_SIZE};
+use crate::fault::{FaultEvent, FaultKind, LaunchError};
 use crate::kernel::{Kernel, LaunchConfig};
 use crate::mem::DeviceMemory;
 use crate::profile::{Accounting, KernelProfile, LimiterBreakdown, SmAccounting};
@@ -97,6 +98,14 @@ pub struct Device {
     /// Simulated wall clock, µs: launches lay out sequentially on the
     /// device's timeline for trace export.
     sim_clock_us: f64,
+    /// Launch *attempts* consulted against the fault plan (failed launches
+    /// count too, so a retried launch rolls a fresh fault decision).
+    fault_attempts: u64,
+    /// Set once the fault plan declares the device permanently lost;
+    /// every launch from then on fails with [`LaunchError::DeviceLost`].
+    lost: bool,
+    /// Every fault this device injected, in attempt order.
+    fault_log: Vec<FaultEvent>,
 }
 
 impl Device {
@@ -110,6 +119,9 @@ impl Device {
             launches: 0,
             id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
             sim_clock_us: 0.0,
+            fault_attempts: 0,
+            lost: false,
+            fault_log: Vec::new(),
         }
     }
 
@@ -154,11 +166,99 @@ impl Device {
         self.l2.reset();
     }
 
+    /// Whether the fault plan has permanently killed this device.
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+
+    /// Every fault injected so far, in launch-attempt order. The log is a
+    /// deterministic function of the fault plan and the attempt sequence,
+    /// so two identical runs produce identical logs.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.fault_log
+    }
+
     /// Launch a kernel and return its profile.
     ///
-    /// Panics if the launch geometry violates device limits, mirroring a
-    /// CUDA launch failure.
+    /// Panics if the launch geometry violates device limits (mirroring a
+    /// CUDA launch failure) or if the device's fault plan injects a fault
+    /// — callers that configure faults must use [`Self::try_launch`].
     pub fn launch(&mut self, kernel: &dyn Kernel, lc: LaunchConfig) -> KernelProfile {
+        self.try_launch(kernel, lc)
+            .unwrap_or_else(|e| panic!("unhandled launch fault: {e}"))
+    }
+
+    /// Launch a kernel, consulting the device's [`FaultPlan`]
+    /// (`crate::FaultPlan`) first.
+    ///
+    /// A transient fault aborts the launch *before* any execution —
+    /// device memory and caches are untouched, so retrying the same
+    /// launch is always sound. A straggler executes normally, then has
+    /// its modelled times scaled by the plan's factor (functional output
+    /// is still correct; the event is recorded on the profile). Once the
+    /// plan declares the device lost, every subsequent launch fails.
+    ///
+    /// With the empty plan this is exactly the historical launch path:
+    /// one `is_none` branch, no extra state, bitwise-identical profiles.
+    pub fn try_launch(
+        &mut self,
+        kernel: &dyn Kernel,
+        lc: LaunchConfig,
+    ) -> Result<KernelProfile, LaunchError> {
+        let mut straggler: Option<FaultEvent> = None;
+        if !self.cfg.fault.is_none() || self.lost {
+            if self.lost {
+                return Err(LaunchError::DeviceLost);
+            }
+            let attempt = self.fault_attempts;
+            self.fault_attempts += 1;
+            match self.cfg.fault.decide(attempt) {
+                None => {}
+                Some(kind @ FaultKind::DeviceLost) => {
+                    self.lost = true;
+                    self.record_fault(attempt, kind, kernel.name());
+                    return Err(LaunchError::DeviceLost);
+                }
+                Some(kind @ FaultKind::Transient) => {
+                    self.record_fault(attempt, kind, kernel.name());
+                    return Err(LaunchError::TransientFault { launch: attempt });
+                }
+                Some(kind @ FaultKind::Straggler { .. }) => {
+                    straggler = Some(self.record_fault(attempt, kind, kernel.name()));
+                }
+            }
+        }
+        let mut p = self.execute(kernel, lc);
+        if let Some(event) = straggler {
+            let FaultKind::Straggler { factor } = event.kind else {
+                unreachable!()
+            };
+            let extra_ms = p.gpu_time_ms * (factor - 1.0);
+            p.gpu_cycles *= factor;
+            p.gpu_time_ms *= factor;
+            p.runtime_ms += extra_ms;
+            // The clock already advanced by the fault-free runtime inside
+            // `finish_profile`; stretch it by the slowdown.
+            self.sim_clock_us += extra_ms * 1e3;
+            p.injected_fault = Some(event);
+        }
+        Ok(p)
+    }
+
+    fn record_fault(&mut self, attempt: u64, kind: FaultKind, kernel: &str) -> FaultEvent {
+        let event = FaultEvent {
+            launch: attempt,
+            kind,
+            kernel: kernel.to_string(),
+        };
+        telemetry::counter_add(&format!("sim.fault.{}", kind.label()), 1);
+        self.fault_log.push(event.clone());
+        event
+    }
+
+    /// The fault-free launch path: execute every warp and build the
+    /// profile.
+    fn execute(&mut self, kernel: &dyn Kernel, lc: LaunchConfig) -> KernelProfile {
         assert!(
             lc.block_threads >= 1 && lc.block_threads <= self.cfg.max_threads_per_block,
             "invalid block size {}",
@@ -431,6 +531,7 @@ impl Device {
                 warps_per_block: warps_per_block as u64,
                 sm: sm_accounting,
             },
+            injected_fault: None,
         };
 
         if trace_blocks {

@@ -58,6 +58,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod fault;
 pub mod kernel;
 pub mod launch;
 pub mod mem;
@@ -65,6 +66,7 @@ pub mod profile;
 pub mod warp;
 
 pub use config::{DeviceConfig, WARP_SIZE};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, LaunchError};
 pub use kernel::{Kernel, LaunchConfig};
 pub use launch::Device;
 pub use mem::{DeviceBuffer, DeviceMemory, Word};

@@ -10,6 +10,8 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::fault::FaultEvent;
+
 /// Raw counter totals and per-SM schedule accounting for one launch.
 ///
 /// These are the un-derived numbers every ratio metric on
@@ -137,6 +139,13 @@ pub struct KernelProfile {
     /// Raw counter totals and per-SM schedule accounting (conservation-law
     /// inputs; every ratio metric above derives from these).
     pub accounting: Accounting,
+    /// Fault injected into this launch, if any. Only stragglers can carry
+    /// an event here (transient/device-lost launches never produce a
+    /// profile); `None` always when the device's `FaultPlan` is empty.
+    /// For a straggler, `gpu_cycles`/`gpu_time_ms`/`runtime_ms` include
+    /// the slowdown while the limiter breakdown keeps the fault-free
+    /// decomposition.
+    pub injected_fault: Option<FaultEvent>,
 }
 
 /// Per-term cycle components of the analytic cost model at the critical SM.

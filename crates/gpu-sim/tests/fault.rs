@@ -1,0 +1,171 @@
+//! Device-level fault-injection behaviour: transient faults abort before
+//! execution (retry-whole is sound), device loss is permanent, stragglers
+//! slow the modelled time without corrupting results, and the empty plan
+//! is bitwise zero-cost.
+
+use gpu_sim::{
+    Device, DeviceBuffer, DeviceConfig, FaultKind, FaultPlan, Kernel, LaunchConfig, LaunchError,
+    WarpCtx,
+};
+
+/// y[i] = x[i] + 1 over one warp per 32 elements.
+struct Incr {
+    x: DeviceBuffer<f32>,
+    y: DeviceBuffer<f32>,
+    n: usize,
+}
+
+impl Kernel for Incr {
+    fn name(&self) -> &str {
+        "incr"
+    }
+    fn run_warp(&self, w: &mut WarpCtx<'_>) {
+        let base = w.global_warp() * 32;
+        let n = self.n;
+        let vals = w.ld(self.x, |lane| {
+            let i = base + lane;
+            (i < n).then_some(i)
+        });
+        w.issue(1);
+        w.st(self.y, |lane| {
+            let i = base + lane;
+            (i < n).then_some((i, vals[lane] + 1.0))
+        });
+    }
+}
+
+const N: usize = 256;
+
+fn device_with(fault: FaultPlan) -> (Device, Incr) {
+    let mut dev = Device::new(DeviceConfig {
+        fault,
+        ..DeviceConfig::test_small()
+    });
+    let xs: Vec<f32> = (0..N).map(|i| i as f32).collect();
+    let x = dev.mem_mut().alloc_from(&xs);
+    let y = dev.mem_mut().alloc::<f32>(N);
+    (dev, Incr { x, y, n: N })
+}
+
+fn lc() -> LaunchConfig {
+    LaunchConfig::warp_per_item(N.div_ceil(32), 64)
+}
+
+#[test]
+fn transient_fault_leaves_memory_untouched_and_retry_succeeds() {
+    // Rate 1.0 with lost_at None: every attempt rolls Transient.
+    let (mut dev, k) = device_with(FaultPlan::transient(11, 0.6));
+    let mut failures = 0;
+    let mut p = None;
+    for _ in 0..64 {
+        match dev.try_launch(&k, lc()) {
+            Ok(profile) => {
+                p = Some(profile);
+                break;
+            }
+            Err(LaunchError::TransientFault { .. }) => {
+                // Aborted before execution: output buffer still zeroed.
+                assert!(dev.mem().read_vec(k.y).iter().all(|&v| v == 0.0));
+                failures += 1;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    let p = p.expect("a 0.6-rate plan must let some attempt through in 64 tries");
+    assert!(
+        failures > 0,
+        "seed 11 at rate 0.6 should fault at least once"
+    );
+    assert!(p.injected_fault.is_none());
+    let out = dev.mem().read_vec(k.y);
+    assert!(out.iter().enumerate().all(|(i, &v)| v == i as f32 + 1.0));
+    // Every transient was logged, in attempt order.
+    assert_eq!(dev.fault_events().len(), failures);
+    assert!(dev
+        .fault_events()
+        .iter()
+        .all(|e| e.kind == FaultKind::Transient && e.kernel == "incr"));
+}
+
+#[test]
+fn device_loss_is_permanent_and_flagged() {
+    let (mut dev, k) = device_with(FaultPlan::device_lost_at(2));
+    assert!(dev.try_launch(&k, lc()).is_ok());
+    assert!(dev.try_launch(&k, lc()).is_ok());
+    assert!(!dev.is_lost());
+    for _ in 0..3 {
+        assert_eq!(
+            dev.try_launch(&k, lc()).unwrap_err(),
+            LaunchError::DeviceLost
+        );
+        assert!(dev.is_lost());
+    }
+    // Loss is logged once; later refusals don't re-log.
+    assert_eq!(dev.fault_events().len(), 1);
+    assert_eq!(dev.fault_events()[0].kind, FaultKind::DeviceLost);
+}
+
+#[test]
+fn straggler_scales_time_not_results() {
+    let (mut dev, k) = device_with(FaultPlan::none());
+    let clean = dev.launch(&k, lc());
+
+    let (mut slow_dev, sk) = device_with(FaultPlan::straggler(0, 1.0, 8.0));
+    let slow = slow_dev.try_launch(&sk, lc()).unwrap();
+    let out = slow_dev.mem().read_vec(sk.y);
+    assert!(out.iter().enumerate().all(|(i, &v)| v == i as f32 + 1.0));
+    assert!((slow.gpu_cycles - clean.gpu_cycles * 8.0).abs() < 1e-6);
+    assert!((slow.gpu_time_ms - clean.gpu_time_ms * 8.0).abs() < 1e-9);
+    // Launch overhead is host-side and unaffected by the slowdown.
+    assert!(
+        (slow.runtime_ms - slow.gpu_time_ms - (clean.runtime_ms - clean.gpu_time_ms)).abs() < 1e-9
+    );
+    match &slow.injected_fault {
+        Some(e) => assert_eq!(e.kind, FaultKind::Straggler { factor: 8.0 }),
+        None => panic!("straggler launch must carry its fault event"),
+    }
+    // The simulated clock advanced by the *scaled* runtime.
+    assert!((slow_dev.sim_clock_us() - slow.runtime_ms * 1e3).abs() < 1e-6);
+}
+
+#[test]
+fn empty_plan_is_bitwise_identical_to_default() {
+    // A seeded-but-zero-rate plan and the default plan must produce the
+    // same profile, bit for bit — the fault layer is free when off.
+    let run = |fault: FaultPlan| {
+        let (mut dev, k) = device_with(fault);
+        let p = dev.try_launch(&k, lc()).unwrap();
+        assert!(dev.fault_events().is_empty());
+        (
+            p.gpu_cycles.to_bits(),
+            p.gpu_time_ms.to_bits(),
+            p.runtime_ms.to_bits(),
+            p.l1_hit_rate.to_bits(),
+            p.load_bytes,
+            p.insts,
+        )
+    };
+    let zeroed = FaultPlan {
+        seed: 0xdead_beef,
+        ..FaultPlan::none()
+    };
+    assert!(zeroed.is_none());
+    assert_eq!(run(FaultPlan::none()), run(zeroed));
+}
+
+#[test]
+fn fault_schedule_is_deterministic_across_devices() {
+    let plan = FaultPlan::transient(77, 0.4);
+    let run = || {
+        let (mut dev, k) = device_with(plan.clone());
+        let mut log = Vec::new();
+        for _ in 0..32 {
+            match dev.try_launch(&k, lc()) {
+                Ok(_) => log.push(false),
+                Err(_) => log.push(true),
+            }
+        }
+        (log, dev.fault_events().to_vec())
+    };
+    assert_eq!(run(), run());
+}

@@ -124,6 +124,27 @@ impl<T> BatchQueue<T> {
         st.items.drain(..take).collect()
     }
 
+    /// Put an already-admitted item back at the *front* of the queue,
+    /// keeping its original enqueue stamp. Used by the supervisor to
+    /// return a dead worker's in-flight batch: the item was admitted
+    /// once, so this bypasses both the capacity check and the shutdown
+    /// gate (during a shutdown drain the item is still served before
+    /// workers exit).
+    pub fn requeue_front(&self, item: T, enqueued: Instant) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.items.push_front((item, enqueued));
+        drop(st);
+        self.nonempty.notify_one();
+    }
+
+    /// Take every queued item unconditionally, ending with an empty
+    /// queue. Final-shutdown cleanup: after the workers are gone, whatever
+    /// is left can only be failed back to its callers.
+    pub fn drain_remaining(&self) -> Vec<(T, Instant)> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.items.drain(..).collect()
+    }
+
     /// Stop accepting new items and wake every waiting consumer. Already
     /// queued items are still handed out by `pop_batch` before it starts
     /// returning `None`.
@@ -208,6 +229,36 @@ mod tests {
         q.push(2).unwrap();
         let batch = consumer.join().unwrap();
         assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn requeue_front_bypasses_capacity_and_shutdown() {
+        let q = queue(2, 8, 10_000);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.shutdown();
+        // Full *and* shut down: a salvaged item still goes back in, at
+        // the front, with its original stamp.
+        let stamp = Instant::now();
+        q.requeue_front(0, stamp);
+        assert_eq!(q.len(), 3);
+        let batch = q.pop_batch().unwrap();
+        let ids: Vec<u32> = batch.iter().map(|&(v, _)| v).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(batch[0].1, stamp);
+        assert!(q.pop_batch().is_none());
+    }
+
+    #[test]
+    fn drain_remaining_empties_the_queue() {
+        let q = queue(8, 8, 10_000);
+        for i in 0..3 {
+            q.push(i).unwrap();
+        }
+        let left = q.drain_remaining();
+        assert_eq!(left.len(), 3);
+        assert!(q.is_empty());
+        assert!(q.drain_remaining().is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! never hit again and age out via LRU).
 
 use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
 
 /// Cache key: which embedding this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -17,6 +18,12 @@ pub struct CacheKey {
     /// Layer the embedding comes out of (`net.depth()` for final
     /// outputs).
     pub layer: u16,
+    /// Extraction depth the row was computed at. Rows from a truncated
+    /// receptive field (explicitly requested shallow hops, or the
+    /// degradation ladder) are exact *for that depth*, so they cache
+    /// soundly under their own key — and can never be served to a
+    /// request wanting a different depth.
+    pub hops: u16,
     /// Model version; bumping it invalidates every older entry.
     pub version: u32,
 }
@@ -24,6 +31,20 @@ pub struct CacheKey {
 struct Entry {
     row: Vec<f32>,
     stamp: u64,
+    inserted: Instant,
+}
+
+/// The outcome of a TTL-aware lookup ([`FeatureCache::get_aged`]).
+#[derive(Debug, PartialEq)]
+pub enum Lookup<'a> {
+    /// Present and within its TTL.
+    Fresh(&'a [f32]),
+    /// Present but past its TTL, within the stale grace window — usable
+    /// only under degraded service, and the response must say so.
+    Stale(&'a [f32]),
+    /// Absent, or expired beyond the grace window (expired entries are
+    /// dropped on lookup).
+    Miss,
 }
 
 /// An LRU map from [`CacheKey`] to an embedding row, with hit/miss
@@ -40,6 +61,7 @@ pub struct FeatureCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    stale_hits: u64,
 }
 
 impl FeatureCache {
@@ -53,6 +75,7 @@ impl FeatureCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            stale_hits: 0,
         }
     }
 
@@ -84,6 +107,11 @@ impl FeatureCache {
     /// Entries evicted to make room.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Hits that served a past-TTL entry (subset of [`hits`](Self::hits)).
+    pub fn stale_hits(&self) -> u64 {
+        self.stale_hits
     }
 
     /// `hits / (hits + misses)`, or 0.0 before any lookup.
@@ -120,6 +148,58 @@ impl FeatureCache {
         }
     }
 
+    /// TTL-aware lookup. `ttl` of `None` means entries never go stale
+    /// (equivalent to [`get`](Self::get)); otherwise entries older than
+    /// `ttl` are [`Lookup::Stale`] up to `ttl + stale_grace` and dropped
+    /// (a miss) beyond that. Pass `stale_grace = Duration::ZERO` to
+    /// refuse stale service (full-fidelity mode). Counts a hit for fresh
+    /// *and* stale outcomes, refreshing recency; stale hits are also
+    /// tallied separately.
+    pub fn get_aged(
+        &mut self,
+        key: CacheKey,
+        ttl: Option<Duration>,
+        stale_grace: Duration,
+    ) -> Lookup<'_> {
+        if self.capacity == 0 {
+            self.misses += 1;
+            return Lookup::Miss;
+        }
+        let Some(entry) = self.map.get(&key) else {
+            self.misses += 1;
+            return Lookup::Miss;
+        };
+        let fresh = match ttl {
+            None => true,
+            Some(t) => {
+                let age = entry.inserted.elapsed();
+                if age > t + stale_grace {
+                    // Expired beyond grace: drop it so it cannot linger
+                    // as a permanently-stale LRU resident.
+                    let stamp = entry.stamp;
+                    self.map.remove(&key);
+                    self.lru.remove(&stamp);
+                    self.misses += 1;
+                    return Lookup::Miss;
+                }
+                age <= t
+            }
+        };
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.map.get_mut(&key).expect("entry checked above");
+        self.lru.remove(&entry.stamp);
+        entry.stamp = clock;
+        self.lru.insert(clock, key);
+        self.hits += 1;
+        if fresh {
+            Lookup::Fresh(&entry.row)
+        } else {
+            self.stale_hits += 1;
+            Lookup::Stale(&entry.row)
+        }
+    }
+
     /// Insert (or refresh) an embedding row, evicting the least recently
     /// used entry if at capacity. No-op when the cache is disabled.
     pub fn insert(&mut self, key: CacheKey, row: Vec<f32>) {
@@ -132,6 +212,7 @@ impl FeatureCache {
             self.lru.remove(&entry.stamp);
             entry.stamp = clock;
             entry.row = row;
+            entry.inserted = Instant::now();
             self.lru.insert(clock, key);
             return;
         }
@@ -141,7 +222,14 @@ impl FeatureCache {
                 self.evictions += 1;
             }
         }
-        self.map.insert(key, Entry { row, stamp: clock });
+        self.map.insert(
+            key,
+            Entry {
+                row,
+                stamp: clock,
+                inserted: Instant::now(),
+            },
+        );
         self.lru.insert(clock, key);
     }
 
@@ -160,6 +248,7 @@ mod tests {
         CacheKey {
             vertex: v,
             layer: 2,
+            hops: 2,
             version: 1,
         }
     }
@@ -198,12 +287,13 @@ mod tests {
     }
 
     #[test]
-    fn version_and_layer_partition_the_keyspace() {
+    fn version_layer_and_hops_partition_the_keyspace() {
         let mut c = FeatureCache::new(8);
         c.insert(
             CacheKey {
                 vertex: 5,
                 layer: 2,
+                hops: 2,
                 version: 1,
             },
             vec![1.0],
@@ -212,6 +302,7 @@ mod tests {
             .get(CacheKey {
                 vertex: 5,
                 layer: 2,
+                hops: 2,
                 version: 2
             })
             .is_none());
@@ -219,6 +310,15 @@ mod tests {
             .get(CacheKey {
                 vertex: 5,
                 layer: 1,
+                hops: 2,
+                version: 1
+            })
+            .is_none());
+        assert!(c
+            .get(CacheKey {
+                vertex: 5,
+                layer: 2,
+                hops: 1,
                 version: 1
             })
             .is_none());
@@ -239,5 +339,47 @@ mod tests {
     fn hit_rate_defined_before_any_lookup() {
         let c = FeatureCache::new(4);
         assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn aged_lookup_without_ttl_is_always_fresh() {
+        let mut c = FeatureCache::new(4);
+        c.insert(key(1), vec![1.0]);
+        assert_eq!(
+            c.get_aged(key(1), None, Duration::ZERO),
+            Lookup::Fresh(&[1.0][..])
+        );
+        assert_eq!(c.get_aged(key(2), None, Duration::ZERO), Lookup::Miss);
+        assert_eq!((c.hits(), c.misses(), c.stale_hits()), (1, 1, 0));
+    }
+
+    #[test]
+    fn zero_ttl_entries_are_stale_within_grace() {
+        let mut c = FeatureCache::new(4);
+        c.insert(key(1), vec![1.0]);
+        // TTL 0: any age is past TTL; a generous grace serves it stale.
+        assert_eq!(
+            c.get_aged(key(1), Some(Duration::ZERO), Duration::from_secs(3600)),
+            Lookup::Stale(&[1.0][..])
+        );
+        assert_eq!((c.hits(), c.stale_hits()), (1, 1));
+        // Zero grace refuses stale service and drops the entry.
+        assert_eq!(
+            c.get_aged(key(1), Some(Duration::ZERO), Duration::ZERO),
+            Lookup::Miss
+        );
+        assert_eq!(c.len(), 0, "expired entry dropped on lookup");
+    }
+
+    #[test]
+    fn reinsert_refreshes_age() {
+        let mut c = FeatureCache::new(4);
+        c.insert(key(1), vec![1.0]);
+        c.insert(key(1), vec![2.0]);
+        // A long TTL keeps a just-(re)inserted entry fresh.
+        assert_eq!(
+            c.get_aged(key(1), Some(Duration::from_secs(3600)), Duration::ZERO),
+            Lookup::Fresh(&[2.0][..])
+        );
     }
 }

@@ -24,6 +24,12 @@
 //! * **Backpressure** is explicit: the request queue is bounded and
 //!   `submit` fails fast with [`ServeError::Overloaded`] past capacity —
 //!   the queue never grows without bound ([`batcher`], [`server`]).
+//! * **Resilience** against injected device faults (`gpu_sim::FaultPlan`):
+//!   per-request deadlines, bounded retry with seeded exponential backoff
+//!   ([`policy`]), worker supervision with exactly-once batch requeueing
+//!   ([`supervisor`]), and a load-shedding degradation ladder whose
+//!   responses are explicitly flagged ([`request::Degradation`]). See the
+//!   [`server`] module docs for the fault-handling contract.
 //!
 //! Everything is instrumented through `telemetry` under the server's
 //! metrics prefix (default `serve`): `<prefix>.queue_depth` gauge,
@@ -54,12 +60,18 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod policy;
 pub mod request;
 pub mod server;
+pub mod supervisor;
 pub mod workload;
 
 pub use batcher::{BatchQueue, PushError};
-pub use cache::{CacheKey, FeatureCache};
-pub use request::{Request, RequestTiming, Response, ServeError};
+pub use cache::{CacheKey, FeatureCache, Lookup};
+pub use policy::{
+    CircuitBreaker, DegradationController, DegradationLevel, DegradationPolicy, RetryPolicy,
+};
+pub use request::{Degradation, Request, RequestTiming, Response, ServeError};
 pub use server::{GnnServer, ResponseHandle, ServeConfig, ServerStats};
+pub use supervisor::{DeathCause, HealthSnapshot, Supervisor, SupervisorConfig, WorkerExit};
 pub use workload::ZipfSampler;

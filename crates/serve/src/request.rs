@@ -1,6 +1,7 @@
 //! The request/response model of the serving layer.
 
 use std::fmt;
+use std::time::Duration;
 
 use tlpgnn_tensor::Matrix;
 
@@ -16,6 +17,11 @@ pub struct Request {
     /// field), a larger one only costs extraction time. Batches use the
     /// maximum requested depth.
     pub hops: Option<usize>,
+    /// Optional end-to-end deadline, measured from submission. A request
+    /// still queued (or awaiting a retry) past its deadline is shed with
+    /// [`ServeError::DeadlineExceeded`] instead of burning compute on an
+    /// answer nobody is waiting for.
+    pub deadline: Option<Duration>,
 }
 
 impl Request {
@@ -24,6 +30,7 @@ impl Request {
         Self {
             targets,
             hops: None,
+            deadline: None,
         }
     }
 
@@ -32,7 +39,34 @@ impl Request {
         Self {
             targets,
             hops: Some(hops),
+            deadline: None,
         }
+    }
+
+    /// Attach an end-to-end deadline (from submission).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Which degraded-service measures shaped a response. A response with any
+/// flag set is *approximate* — correct under the degradation contract,
+/// but not bitwise what full service would have returned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// At least one target row came from a cache entry past its TTL
+    /// (within the stale grace window).
+    pub stale_cache: bool,
+    /// At least one target row was computed with a truncated receptive
+    /// field (extraction depth reduced under load).
+    pub reduced_hops: bool,
+}
+
+impl Degradation {
+    /// Whether any degradation measure applied.
+    pub fn any(&self) -> bool {
+        self.stale_cache || self.reduced_hops
     }
 }
 
@@ -44,6 +78,9 @@ pub struct Response {
     pub outputs: Matrix,
     /// Latency breakdown of the batch that served this request.
     pub timing: RequestTiming,
+    /// Degraded-service flags; `Degradation::default()` (no flags) means
+    /// full-fidelity service.
+    pub degraded: Degradation,
 }
 
 /// Where a request's latency went. Extraction/compute are per *batch*
@@ -80,6 +117,11 @@ pub enum ServeError {
     EmptyRequest,
     /// The worker serving this request died before responding.
     WorkerLost,
+    /// The request's deadline passed before it could be served; it was
+    /// shed without computing.
+    DeadlineExceeded,
+    /// Device faults exhausted the retry budget for this request's batch.
+    DeviceFault,
 }
 
 impl fmt::Display for ServeError {
@@ -90,6 +132,10 @@ impl fmt::Display for ServeError {
             ServeError::InvalidTarget(v) => write!(f, "target vertex {v} out of range"),
             ServeError::EmptyRequest => write!(f, "request has no targets"),
             ServeError::WorkerLost => write!(f, "serving worker terminated unexpectedly"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline passed before the request was served")
+            }
+            ServeError::DeviceFault => write!(f, "device faults exhausted the retry budget"),
         }
     }
 }
@@ -104,6 +150,19 @@ mod tests {
     fn constructors_set_hops() {
         assert_eq!(Request::new(vec![1]).hops, None);
         assert_eq!(Request::with_hops(vec![1], 2).hops, Some(2));
+    }
+
+    #[test]
+    fn deadline_builder_and_degradation_flags() {
+        let r = Request::new(vec![1]).with_deadline(Duration::from_millis(5));
+        assert_eq!(r.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(Request::new(vec![1]).deadline, None);
+        assert!(!Degradation::default().any());
+        assert!(Degradation {
+            stale_cache: true,
+            ..Degradation::default()
+        }
+        .any());
     }
 
     #[test]

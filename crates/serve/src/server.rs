@@ -1,5 +1,5 @@
 //! The serving loop: bounded admission, micro-batched workers, cached
-//! ego-graph inference.
+//! ego-graph inference — now with a resilience layer.
 //!
 //! A [`GnnServer`] owns the graph, the feature matrix, and the trained
 //! network. Clients call [`submit`](GnnServer::submit) from any thread;
@@ -8,22 +8,51 @@
 //! at most one ego-graph extraction and one engine forward pass, no
 //! matter how many requests it coalesced; per-vertex outputs are LRU
 //! cached so hot vertices skip both.
+//!
+//! ## Fault handling
+//!
+//! The simulated device can fault (`gpu_sim::FaultPlan`), and the server
+//! is built to keep its service-level invariants anyway — every admitted
+//! request terminally resolves, and no response is silently wrong:
+//!
+//! * **Deadlines**: a request past its deadline is shed with
+//!   [`ServeError::DeadlineExceeded`] before any compute is spent on it.
+//! * **Transient faults** retry the whole batch forward pass under a
+//!   bounded [`RetryPolicy`] (TLPGNN's one-fused-kernel-per-layer design
+//!   means a fault leaves no partial device state to clean up); an
+//!   exhausted budget fails the affected requests with
+//!   [`ServeError::DeviceFault`].
+//! * **Worker death** (lost device or panic) is detected by a
+//!   [`Supervisor`]: the dead worker's in-flight batch is requeued
+//!   *exactly once* (a second death fails those requests with
+//!   [`ServeError::WorkerLost`]) and the worker is respawned within a
+//!   bounded budget — on a fresh fault-free device by default.
+//! * **Degradation ladder** ([`DegradationController`]): under pressure
+//!   (deep queue and/or dead workers) the server first serves stale cache
+//!   entries, then truncates extraction depth, then sheds new load.
+//!   Degraded responses are flagged ([`Degradation`]); truncated outputs
+//!   cache under their own depth key, never visible to full-depth
+//!   lookups.
+//! * A worker panic while holding the cache lock poisons it; the lock is
+//!   recovered and the cache invalidated once, so a torn write can never
+//!   be served.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use gpu_sim::DeviceConfig;
+use gpu_sim::{DeviceConfig, FaultPlan, LaunchError};
 use tlpgnn::{EngineOptions, GnnNetwork, TlpgnnEngine};
 use tlpgnn_graph::subgraph::ego_graph;
 use tlpgnn_graph::Csr;
 use tlpgnn_tensor::Matrix;
 
 use crate::batcher::{BatchQueue, PushError};
-use crate::cache::{CacheKey, FeatureCache};
-use crate::request::{Request, RequestTiming, Response, ServeError};
+use crate::cache::{CacheKey, FeatureCache, Lookup};
+use crate::policy::{DegradationController, DegradationLevel, DegradationPolicy, RetryPolicy};
+use crate::request::{Degradation, Request, RequestTiming, Response, ServeError};
+use crate::supervisor::{DeathCause, Supervisor, SupervisorConfig, WorkerExit};
 
 /// Configuration of a [`GnnServer`].
 #[derive(Debug, Clone)]
@@ -40,13 +69,32 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// LRU feature-cache capacity in vertex rows (0 disables caching).
     pub cache_capacity: usize,
+    /// Cache-entry time-to-live. `None` (the default) means entries
+    /// never go stale; with a TTL, entries past it are only served under
+    /// degraded service (flagged), within `stale_grace`.
+    pub cache_ttl: Option<Duration>,
+    /// How far past the TTL a stale entry may still be served when the
+    /// degradation ladder allows it.
+    pub stale_grace: Duration,
     /// Model version stamped into cache keys; bump on weight updates to
     /// invalidate cached outputs.
     pub model_version: u32,
-    /// Simulated device each worker runs on.
+    /// Simulated device each worker runs on (including its fault plan;
+    /// worker `i` salts the plan's seed with its slot index so workers
+    /// fault independently).
     pub device: DeviceConfig,
     /// Engine tunables.
     pub engine_options: EngineOptions,
+    /// Retry policy for transient device faults.
+    pub retry: RetryPolicy,
+    /// Thresholds of the load-shedding degradation ladder.
+    pub degradation: DegradationPolicy,
+    /// Worker supervision knobs (respawn budget, monitor cadence).
+    pub supervisor: SupervisorConfig,
+    /// Chaos hook: a worker inserting this vertex's row into the cache
+    /// panics while holding the cache lock. Exercises lock-poison
+    /// recovery and exactly-once requeueing; `None` in production.
+    pub chaos_panic_on_vertex: Option<u32>,
     /// Prefix for every telemetry metric the server emits (lets several
     /// server instances in one process keep their metrics apart).
     pub metrics_prefix: String,
@@ -60,9 +108,15 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(2),
             queue_capacity: 256,
             cache_capacity: 65_536,
+            cache_ttl: None,
+            stale_grace: Duration::from_secs(30),
             model_version: 1,
             device: DeviceConfig::test_small(),
             engine_options: EngineOptions::default(),
+            retry: RetryPolicy::default(),
+            degradation: DegradationPolicy::default(),
+            supervisor: SupervisorConfig::default(),
+            chaos_panic_on_vertex: None,
             metrics_prefix: "serve".to_string(),
         }
     }
@@ -85,6 +139,27 @@ pub struct ServerStats {
     pub cache_misses: u64,
     /// Feature-cache evictions.
     pub cache_evictions: u64,
+    /// Cache hits that served a past-TTL entry under degraded service.
+    pub cache_stale_hits: u64,
+    /// Requests shed with [`ServeError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Batch forward-pass retries after transient device faults.
+    pub retries: u64,
+    /// Requests failed with [`ServeError::DeviceFault`] (retry budget
+    /// exhausted).
+    pub device_faults: u64,
+    /// In-flight requests requeued after their worker died.
+    pub requeued: u64,
+    /// Requests failed with [`ServeError::WorkerLost`] (second death).
+    pub worker_lost: u64,
+    /// Worker deaths observed (lost devices + panics).
+    pub worker_deaths: u64,
+    /// Workers respawned by the supervisor.
+    pub respawns: u64,
+    /// Responses served with any [`Degradation`] flag set.
+    pub degraded: u64,
+    /// Cache-lock poison events recovered (cache invalidated each time).
+    pub poison_recoveries: u64,
 }
 
 impl ServerStats {
@@ -113,6 +188,11 @@ struct MetricNames {
     cache_hits: String,
     cache_misses: String,
     cache_hit_rate: String,
+    degradation_level: String,
+    deadline_exceeded: String,
+    retries: String,
+    requeued: String,
+    degraded: String,
 }
 
 impl MetricNames {
@@ -129,14 +209,27 @@ impl MetricNames {
             cache_hits: format!("{prefix}.cache.hits"),
             cache_misses: format!("{prefix}.cache.misses"),
             cache_hit_rate: format!("{prefix}.cache.hit_rate"),
+            degradation_level: format!("{prefix}.degradation_level"),
+            deadline_exceeded: format!("{prefix}.deadline_exceeded"),
+            retries: format!("{prefix}.retries"),
+            requeued: format!("{prefix}.requeued"),
+            degraded: format!("{prefix}.degraded"),
         }
     }
 }
 
+/// An admitted request: what to serve, its absolute deadline, how often
+/// it has been requeued after a worker death, and where to answer.
+/// Cloneable so a worker can park a salvage copy while it processes.
+#[derive(Clone)]
 struct Pending {
     request: Request,
+    deadline: Option<Instant>,
+    requeues: u32,
     tx: mpsc::Sender<Result<Response, ServeError>>,
 }
+
+type Batch = Vec<(Pending, Instant)>;
 
 struct Shared {
     graph: Csr,
@@ -146,11 +239,41 @@ struct Shared {
     final_layer: u16,
     model_version: u32,
     cache: Mutex<FeatureCache>,
+    cache_ttl: Option<Duration>,
+    stale_grace: Duration,
+    retry: RetryPolicy,
+    degradation: DegradationController,
+    chaos_panic_on_vertex: Option<u32>,
+    shutting_down: Arc<AtomicBool>,
     metrics: MetricNames,
     completed: AtomicU64,
     rejected: AtomicU64,
     batches: AtomicU64,
     computed_targets: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    retries: AtomicU64,
+    device_faults: AtomicU64,
+    requeued: AtomicU64,
+    worker_lost: AtomicU64,
+    worker_deaths: AtomicU64,
+    respawns: AtomicU64,
+    degraded: AtomicU64,
+    poison_recoveries: AtomicU64,
+}
+
+/// Lock the feature cache, recovering from poison. A worker that dies
+/// while holding the lock may have left a torn write behind, so the
+/// first recovery invalidates the whole cache — recomputing is cheap,
+/// serving a corrupt row is not.
+fn lock_cache(shared: &Shared) -> MutexGuard<'_, FeatureCache> {
+    shared.cache.lock().unwrap_or_else(|poisoned| {
+        shared.cache.clear_poison();
+        let mut guard = poisoned.into_inner();
+        guard.clear();
+        shared.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("serve.cache.poison_recovered", 1);
+        guard
+    })
 }
 
 /// A handle on one submitted request; [`wait`](ResponseHandle::wait)
@@ -158,12 +281,22 @@ struct Shared {
 #[derive(Debug)]
 pub struct ResponseHandle {
     rx: mpsc::Receiver<Result<Response, ServeError>>,
+    shutting_down: Arc<AtomicBool>,
 }
 
 impl ResponseHandle {
-    /// Block until the request is served (or failed).
+    /// Block until the request is served (or failed). A dropped channel
+    /// during shutdown resolves to [`ServeError::ShuttingDown`]; outside
+    /// shutdown it means the serving worker died
+    /// ([`ServeError::WorkerLost`]).
     pub fn wait(self) -> Result<Response, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(if self.shutting_down.load(Ordering::Acquire) {
+                ServeError::ShuttingDown
+            } else {
+                ServeError::WorkerLost
+            })
+        })
     }
 
     /// Non-blocking poll; `None` while the request is still in flight.
@@ -177,12 +310,12 @@ impl ResponseHandle {
 pub struct GnnServer {
     queue: Arc<BatchQueue<Pending>>,
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<Supervisor>,
 }
 
 impl GnnServer {
-    /// Start the worker pool and return a server ready for
-    /// [`submit`](Self::submit).
+    /// Start the worker pool (under supervision) and return a server
+    /// ready for [`submit`](Self::submit).
     ///
     /// # Panics
     /// Panics if the feature matrix does not have one row per graph
@@ -204,6 +337,12 @@ impl GnnServer {
             final_layer: net.depth() as u16,
             model_version: cfg.model_version,
             cache: Mutex::new(FeatureCache::new(cfg.cache_capacity)),
+            cache_ttl: cfg.cache_ttl,
+            stale_grace: cfg.stale_grace,
+            retry: cfg.retry.clone(),
+            degradation: DegradationController::new(cfg.degradation.clone()),
+            chaos_panic_on_vertex: cfg.chaos_panic_on_vertex,
+            shutting_down: Arc::new(AtomicBool::new(false)),
             metrics: MetricNames::new(&cfg.metrics_prefix),
             graph,
             features,
@@ -212,30 +351,96 @@ impl GnnServer {
             rejected: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             computed_targets: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            device_faults: AtomicU64::new(0),
+            requeued: AtomicU64::new(0),
+            worker_lost: AtomicU64::new(0),
+            worker_deaths: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
         });
-        let workers = (0..cfg.workers)
-            .map(|i| {
+        // Per-slot parking spot for the batch a worker is processing;
+        // the supervisor salvages it if the worker dies mid-batch.
+        let in_flight: Arc<Vec<Mutex<Option<Batch>>>> =
+            Arc::new((0..cfg.workers).map(|_| Mutex::new(None)).collect());
+
+        let spawn = {
+            let queue = Arc::clone(&queue);
+            let shared = Arc::clone(&shared);
+            let in_flight = Arc::clone(&in_flight);
+            let base_device = cfg.device.clone();
+            let options = cfg.engine_options.clone();
+            Box::new(move |slot: usize, generation: u32, healthy: bool| {
                 let queue = Arc::clone(&queue);
                 let shared = Arc::clone(&shared);
-                let device = cfg.device.clone();
-                let options = cfg.engine_options.clone();
+                let in_flight = Arc::clone(&in_flight);
+                let options = options.clone();
+                let mut device = base_device.clone();
+                device.fault = if healthy {
+                    // Replacement workers get a fresh fault-free device;
+                    // the broken one stays out of rotation.
+                    FaultPlan::none()
+                } else {
+                    device.fault.with_salt(slot as u64)
+                };
                 std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(queue, shared, device, options))
+                    .name(format!("serve-worker-{slot}.{generation}"))
+                    .spawn(move || worker_loop(&queue, &shared, device, options, slot, &in_flight))
                     .expect("spawn serving worker")
             })
-            .collect();
+        };
+        let on_death = {
+            let queue = Arc::clone(&queue);
+            let shared = Arc::clone(&shared);
+            let in_flight = Arc::clone(&in_flight);
+            Box::new(move |slot: usize, _cause: DeathCause| {
+                shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                let parked = in_flight[slot]
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take();
+                let Some(batch) = parked else { return };
+                // Reverse so requeue_front restores the original order.
+                for (mut p, enqueued) in batch.into_iter().rev() {
+                    if p.requeues == 0 {
+                        p.requeues = 1;
+                        shared.requeued.fetch_add(1, Ordering::Relaxed);
+                        telemetry::counter_add(&shared.metrics.requeued, 1);
+                        queue.requeue_front(p, enqueued);
+                    } else {
+                        // Second death with this request in flight: fail
+                        // it rather than requeue forever.
+                        shared.worker_lost.fetch_add(1, Ordering::Relaxed);
+                        let _ = p.tx.send(Err(ServeError::WorkerLost));
+                    }
+                }
+            })
+        };
+        let tick = {
+            let queue = Arc::clone(&queue);
+            let shared = Arc::clone(&shared);
+            Box::new(move |h: crate::supervisor::HealthSnapshot| {
+                let load = queue.len() as f64 / queue.capacity() as f64;
+                let level = shared.degradation.update(load, h.unhealthy_frac());
+                telemetry::gauge_set(&shared.metrics.degradation_level, level as u8 as f64);
+                shared.respawns.store(h.respawns, Ordering::Relaxed);
+            })
+        };
+        let supervisor = Supervisor::start(cfg.supervisor, cfg.workers, spawn, on_death, tick);
         Self {
             queue,
             shared,
-            workers,
+            supervisor: Some(supervisor),
         }
     }
 
     /// Submit one request. Returns immediately with a handle, or fails
     /// fast: [`ServeError::EmptyRequest`] / [`ServeError::InvalidTarget`]
     /// on malformed input, [`ServeError::Overloaded`] when the bounded
-    /// queue is full, [`ServeError::ShuttingDown`] after shutdown began.
+    /// queue is full or the degradation ladder is shedding,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, request: Request) -> Result<ResponseHandle, ServeError> {
         if request.targets.is_empty() {
             return Err(ServeError::EmptyRequest);
@@ -244,11 +449,26 @@ impl GnnServer {
         if let Some(&bad) = request.targets.iter().find(|&&t| t >= n) {
             return Err(ServeError::InvalidTarget(bad));
         }
+        if self.shared.degradation.level() == DegradationLevel::Shed {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add(&self.shared.metrics.rejected, 1);
+            return Err(ServeError::Overloaded);
+        }
         let (tx, rx) = mpsc::channel();
-        match self.queue.push(Pending { request, tx }) {
+        let deadline = request.deadline.map(|d| Instant::now() + d);
+        let pending = Pending {
+            request,
+            deadline,
+            requeues: 0,
+            tx,
+        };
+        match self.queue.push(pending) {
             Ok(depth) => {
                 telemetry::gauge_set(&self.shared.metrics.queue_depth, depth as f64);
-                Ok(ResponseHandle { rx })
+                Ok(ResponseHandle {
+                    rx,
+                    shutting_down: Arc::clone(&self.shared.shutting_down),
+                })
             }
             Err(PushError::Full(_)) => {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
@@ -270,11 +490,21 @@ impl GnnServer {
         self.queue.len()
     }
 
+    /// The active degradation level.
+    pub fn degradation_level(&self) -> DegradationLevel {
+        self.shared.degradation.level()
+    }
+
     /// A snapshot of the server's counters.
     pub fn stats(&self) -> ServerStats {
-        let (cache_hits, cache_misses, cache_evictions) = {
-            let cache = self.shared.cache.lock().unwrap();
-            (cache.hits(), cache.misses(), cache.evictions())
+        let (cache_hits, cache_misses, cache_evictions, cache_stale_hits) = {
+            let cache = lock_cache(&self.shared);
+            (
+                cache.hits(),
+                cache.misses(),
+                cache.evictions(),
+                cache.stale_hits(),
+            )
         };
         ServerStats {
             completed: self.shared.completed.load(Ordering::Relaxed),
@@ -284,6 +514,16 @@ impl GnnServer {
             cache_hits,
             cache_misses,
             cache_evictions,
+            cache_stale_hits,
+            deadline_exceeded: self.shared.deadline_exceeded.load(Ordering::Relaxed),
+            retries: self.shared.retries.load(Ordering::Relaxed),
+            device_faults: self.shared.device_faults.load(Ordering::Relaxed),
+            requeued: self.shared.requeued.load(Ordering::Relaxed),
+            worker_lost: self.shared.worker_lost.load(Ordering::Relaxed),
+            worker_deaths: self.shared.worker_deaths.load(Ordering::Relaxed),
+            respawns: self.shared.respawns.load(Ordering::Relaxed),
+            degraded: self.shared.degraded.load(Ordering::Relaxed),
+            poison_recoveries: self.shared.poison_recoveries.load(Ordering::Relaxed),
         }
     }
 
@@ -295,9 +535,21 @@ impl GnnServer {
     }
 
     fn stop_and_join(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
         self.queue.shutdown();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(sup) = self.supervisor.take() {
+            // Workers drain the queue; deaths during the drain are still
+            // salvaged and respawned within budget.
+            sup.drain();
+            self.shared
+                .respawns
+                .store(sup.respawns(), Ordering::Relaxed);
+            sup.stop();
+        }
+        // If the respawn budget ran out mid-drain, requests may remain
+        // queued with no worker left: fail them terminally.
+        for (p, _) in self.queue.drain_remaining() {
+            let _ = p.tx.send(Err(ServeError::ShuttingDown));
         }
     }
 }
@@ -309,27 +561,68 @@ impl Drop for GnnServer {
 }
 
 fn worker_loop(
-    queue: Arc<BatchQueue<Pending>>,
-    shared: Arc<Shared>,
+    queue: &BatchQueue<Pending>,
+    shared: &Shared,
     device: DeviceConfig,
     options: EngineOptions,
-) {
+    slot: usize,
+    in_flight: &[Mutex<Option<Batch>>],
+) -> WorkerExit {
     let mut engine = TlpgnnEngine::new(device, options);
     while let Some(batch) = queue.pop_batch() {
         telemetry::gauge_set(&shared.metrics.queue_depth, queue.len() as f64);
-        process_batch(&mut engine, &shared, batch);
+        let batch = shed_expired(shared, batch);
+        if batch.is_empty() {
+            continue;
+        }
+        // Park a salvage copy before touching the engine: if this worker
+        // dies mid-batch, the supervisor requeues from here.
+        *in_flight[slot].lock().unwrap_or_else(|p| p.into_inner()) = Some(batch.clone());
+        match process_batch(&mut engine, shared, batch) {
+            ProcessOutcome::Done => {
+                in_flight[slot]
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take();
+            }
+            // Leave the batch parked: the supervisor salvages it.
+            ProcessOutcome::DeviceLost => return WorkerExit::DeviceLost,
+        }
     }
+    WorkerExit::Drained
+}
+
+/// Respond `DeadlineExceeded` to every request already past its deadline
+/// and return the rest. Runs before compute — and before the batch is
+/// parked, so a shed request is never requeued.
+fn shed_expired(shared: &Shared, batch: Batch) -> Batch {
+    let now = Instant::now();
+    let (live, expired): (Batch, Batch) = batch
+        .into_iter()
+        .partition(|(p, _)| p.deadline.is_none_or(|d| now < d));
+    for (p, _) in expired {
+        shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add(&shared.metrics.deadline_exceeded, 1);
+        let _ = p.tx.send(Err(ServeError::DeadlineExceeded));
+    }
+    live
 }
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
-fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Vec<(Pending, Instant)>) {
+enum ProcessOutcome {
+    Done,
+    DeviceLost,
+}
+
+fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> ProcessOutcome {
     let _span = telemetry::span!("serve.process_batch", requests = batch.len());
     let picked_up = Instant::now();
     let m = &shared.metrics;
     let classes = shared.net.out_dim();
+    let level = shared.degradation.level();
 
     // Unique targets across the batch, first-occurrence order.
     let mut uniq: Vec<u32> = Vec::new();
@@ -342,24 +635,52 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Vec<(Pending
         }
     }
 
-    // Cache pass: pull every hit, collect the misses.
+    // Effective extraction depth for the whole batch: the deepest
+    // request, minus one level under ladder reduction. The cache is
+    // keyed by this depth, so a truncated row can only ever be served to
+    // a lookup at the depth it was computed at.
+    let requested_hops = batch
+        .iter()
+        .map(|(p, _)| p.request.hops.unwrap_or(shared.exact_hops))
+        .max()
+        .unwrap_or(shared.exact_hops);
+    let mut hops = requested_hops;
+    let mut reduced = false;
+    if level >= DegradationLevel::ReducedHops && hops > 1 {
+        hops -= 1;
+        reduced = true;
+    }
+
+    // Cache pass: pull every hit, collect the misses. Past-TTL entries
+    // count as hits only when the ladder permits stale service.
     let mut rows: HashMap<u32, Vec<f32>> = HashMap::with_capacity(uniq.len());
     let mut miss_targets: Vec<u32> = Vec::new();
+    let mut stale_targets: HashSet<u32> = HashSet::new();
     {
         let _span = telemetry::span!("serve.cache_lookup", targets = uniq.len());
-        let mut cache = shared.cache.lock().unwrap();
+        let grace = if level >= DegradationLevel::StaleOk {
+            shared.stale_grace
+        } else {
+            Duration::ZERO
+        };
+        let mut cache = lock_cache(shared);
         let hits_before = cache.hits();
         for &t in &uniq {
             let key = CacheKey {
                 vertex: t,
                 layer: shared.final_layer,
+                hops: hops as u16,
                 version: shared.model_version,
             };
-            match cache.get(key) {
-                Some(row) => {
+            match cache.get_aged(key, shared.cache_ttl, grace) {
+                Lookup::Fresh(row) => {
                     rows.insert(t, row.to_vec());
                 }
-                None => miss_targets.push(t),
+                Lookup::Stale(row) => {
+                    rows.insert(t, row.to_vec());
+                    stale_targets.insert(t);
+                }
+                Lookup::Miss => miss_targets.push(t),
             }
         }
         telemetry::counter_add(&m.cache_hits, cache.hits() - hits_before);
@@ -371,11 +692,6 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Vec<(Pending
     let mut extract_ms = 0.0;
     let mut compute_ms = 0.0;
     if !miss_targets.is_empty() {
-        let hops = batch
-            .iter()
-            .map(|(p, _)| p.request.hops.unwrap_or(shared.exact_hops))
-            .max()
-            .unwrap_or(shared.exact_hops);
         let t0 = Instant::now();
         let ego = {
             let _span = telemetry::span!("serve.extract", misses = miss_targets.len(), hops = hops);
@@ -391,45 +707,85 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Vec<(Pending
         extract_ms = ms(t0.elapsed());
         telemetry::observe(&m.extraction_ms, extract_ms);
 
+        // Retry only helps requests still inside their deadlines; the
+        // batch's latest deadline caps the backoff schedule.
+        let retry_cap: Option<Instant> = if batch.iter().all(|(p, _)| p.deadline.is_some()) {
+            batch.iter().filter_map(|(p, _)| p.deadline).max()
+        } else {
+            None
+        };
         let t1 = Instant::now();
-        let out = {
+        let mut attempt = 0u32;
+        let out = loop {
             let _span = telemetry::span!("serve.compute", vertices = ego.vertices.len());
-            let (out, _profile) = engine.classify_forward(&shared.net, &ego.csr, &sub_feats);
-            out
+            match engine.try_classify_forward(&shared.net, &ego.csr, &sub_feats) {
+                Ok((out, _profile)) => break Some(out),
+                Err(LaunchError::DeviceLost) => return ProcessOutcome::DeviceLost,
+                Err(LaunchError::TransientFault { .. }) => {
+                    attempt += 1;
+                    match shared.retry.schedule(attempt, Instant::now(), retry_cap) {
+                        Some(backoff) => {
+                            shared.retries.fetch_add(1, Ordering::Relaxed);
+                            telemetry::counter_add(&m.retries, 1);
+                            std::thread::sleep(backoff);
+                        }
+                        None => break None,
+                    }
+                }
+            }
         };
         compute_ms = ms(t1.elapsed());
         telemetry::observe(&m.compute_ms, compute_ms);
 
-        let mut cache = shared.cache.lock().unwrap();
-        for (local, &orig) in ego.targets().iter().enumerate() {
-            let row = out.row(local).to_vec();
-            cache.insert(
-                CacheKey {
-                    vertex: orig,
-                    layer: shared.final_layer,
-                    version: shared.model_version,
-                },
-                row.clone(),
-            );
-            rows.insert(orig, row);
+        if let Some(out) = out {
+            // Rows cache under the depth they were computed at — exact
+            // for that depth, invisible to lookups at any other depth.
+            let mut cache = lock_cache(shared);
+            for (local, &orig) in ego.targets().iter().enumerate() {
+                if shared.chaos_panic_on_vertex == Some(orig) {
+                    panic!("chaos: worker killed inserting vertex {orig}");
+                }
+                let row = out.row(local).to_vec();
+                cache.insert(
+                    CacheKey {
+                        vertex: orig,
+                        layer: shared.final_layer,
+                        hops: hops as u16,
+                        version: shared.model_version,
+                    },
+                    row.clone(),
+                );
+                rows.insert(orig, row);
+            }
+            shared
+                .computed_targets
+                .fetch_add(miss_targets.len() as u64, Ordering::Relaxed);
         }
-        shared
-            .computed_targets
-            .fetch_add(miss_targets.len() as u64, Ordering::Relaxed);
+        // On retry exhaustion `rows` stays without the miss targets; the
+        // respond loop below fails exactly the affected requests.
     }
 
     telemetry::observe(&m.batch_size, batch.len() as f64);
     shared.batches.fetch_add(1, Ordering::Relaxed);
 
-    // Assemble and deliver per-request responses.
+    // Assemble and deliver per-request responses. A request whose targets
+    // are all resolved gets a response; one still missing rows (retry
+    // budget exhausted) fails with `DeviceFault` — terminally resolved
+    // either way.
     let _respond = telemetry::span!("serve.respond", requests = batch.len());
+    let miss_set: HashSet<u32> = miss_targets.iter().copied().collect();
     for (p, enqueued) in batch.iter() {
         let targets = &p.request.targets;
+        if targets.iter().any(|t| !rows.contains_key(t)) {
+            shared.device_faults.fetch_add(1, Ordering::Relaxed);
+            let _ = p.tx.send(Err(ServeError::DeviceFault));
+            continue;
+        }
         let mut data = Vec::with_capacity(targets.len() * classes);
         let mut cache_hits = 0usize;
         for &t in targets {
             let row = &rows[&t];
-            if !miss_targets.contains(&t) {
+            if !miss_set.contains(&t) {
                 cache_hits += 1;
             }
             data.extend_from_slice(row);
@@ -443,14 +799,30 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Vec<(Pending
             batch_size: batch.len(),
             cache_hits,
         };
+        let degraded = Degradation {
+            stale_cache: targets.iter().any(|t| stale_targets.contains(t)),
+            // Under reduction every row this batch serves — computed or
+            // cache-hit — is at the truncated depth; flag any request
+            // that asked for more.
+            reduced_hops: reduced && p.request.hops.unwrap_or(shared.exact_hops) > hops,
+        };
+        if degraded.any() {
+            shared.degraded.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add(&m.degraded, 1);
+        }
         let outputs = Matrix::from_vec(targets.len(), classes, data);
         let e2e = ms(enqueued.elapsed());
         telemetry::observe(&m.e2e_latency_ms, e2e);
         telemetry::counter_add(&m.completed, 1);
         shared.completed.fetch_add(1, Ordering::Relaxed);
         // A dropped handle just means the client stopped waiting.
-        let _ = p.tx.send(Ok(Response { outputs, timing }));
+        let _ = p.tx.send(Ok(Response {
+            outputs,
+            timing,
+            degraded,
+        }));
     }
+    ProcessOutcome::Done
 }
 
 #[cfg(test)]
@@ -459,19 +831,26 @@ mod tests {
     use tlpgnn::GnnModel;
     use tlpgnn_graph::generators;
 
-    fn small_server(cache_capacity: usize) -> GnnServer {
-        let g = generators::rmat_default(200, 1200, 7);
-        let x = Matrix::random(200, 8, 1.0, 9);
-        let net = GnnNetwork::two_layer(|_| GnnModel::Gin { eps: 0.1 }, 8, 8, 4, 3);
-        let cfg = ServeConfig {
+    fn small_config(cache_capacity: usize) -> ServeConfig {
+        ServeConfig {
             workers: 1,
             max_batch: 4,
             max_wait: Duration::from_millis(1),
             cache_capacity,
             metrics_prefix: "serve.test".to_string(),
             ..ServeConfig::default()
-        };
+        }
+    }
+
+    fn small_server_with(cfg: ServeConfig) -> GnnServer {
+        let g = generators::rmat_default(200, 1200, 7);
+        let x = Matrix::random(200, 8, 1.0, 9);
+        let net = GnnNetwork::two_layer(|_| GnnModel::Gin { eps: 0.1 }, 8, 8, 4, 3);
         GnnServer::start(cfg, g, x, net)
+    }
+
+    fn small_server(cache_capacity: usize) -> GnnServer {
+        small_server_with(small_config(cache_capacity))
     }
 
     #[test]
@@ -485,6 +864,7 @@ mod tests {
         assert_eq!(resp.outputs.shape(), (3, 4));
         // Duplicate targets get identical rows.
         assert_eq!(resp.outputs.row(1), resp.outputs.row(2));
+        assert!(!resp.degraded.any(), "healthy server serves full fidelity");
         let stats = server.shutdown();
         assert_eq!(stats.completed, 1);
     }
@@ -531,5 +911,210 @@ mod tests {
             server.submit(Request::new(vec![1])).unwrap_err(),
             ServeError::ShuttingDown
         );
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_not_served() {
+        let server = small_server(64);
+        // A zero deadline is already expired when the worker picks it up.
+        let h = server
+            .submit(Request::new(vec![1]).with_deadline(Duration::ZERO))
+            .unwrap();
+        assert_eq!(h.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        // A generous deadline is served normally.
+        let ok = server
+            .submit(Request::new(vec![1]).with_deadline(Duration::from_secs(60)))
+            .unwrap();
+        assert!(ok.wait().is_ok());
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        let mut cfg = small_config(64);
+        cfg.device.fault = gpu_sim::FaultPlan::transient(3, 0.3);
+        cfg.retry = RetryPolicy {
+            max_retries: 64,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(100),
+            ..RetryPolicy::default()
+        };
+        let faulty = small_server_with(cfg);
+        let clean = small_server(64);
+        for t in [0u32, 7, 42] {
+            let a = faulty
+                .submit(Request::new(vec![t]))
+                .unwrap()
+                .wait()
+                .unwrap();
+            let b = clean.submit(Request::new(vec![t])).unwrap().wait().unwrap();
+            assert_eq!(
+                a.outputs.data(),
+                b.outputs.data(),
+                "retried result must be bitwise identical to clean"
+            );
+            assert!(!a.degraded.any());
+        }
+        let stats = faulty.shutdown();
+        assert_eq!(stats.completed, 3);
+        assert!(stats.retries > 0, "a 0.3 fault rate must trigger retries");
+        assert_eq!(stats.device_faults, 0);
+    }
+
+    #[test]
+    fn lost_device_worker_is_respawned_and_batch_requeued() {
+        let mut cfg = small_config(64);
+        // The worker's very first launch kills its device. with_salt
+        // keeps `lost_at_launch`, so slot salting doesn't defuse this.
+        cfg.device.fault = gpu_sim::FaultPlan::device_lost_at(0);
+        let server = small_server_with(cfg);
+        let resp = server.submit(Request::new(vec![5])).unwrap().wait();
+        let resp = resp.expect("requeued batch must be served by the respawned worker");
+        assert_eq!(resp.outputs.shape(), (1, 4));
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.worker_deaths, 1);
+        assert_eq!(stats.requeued, 1);
+        assert!(stats.respawns >= 1);
+        assert_eq!(stats.worker_lost, 0);
+    }
+
+    #[test]
+    fn chaos_panic_fails_request_after_exactly_one_requeue() {
+        let mut cfg = small_config(64);
+        cfg.chaos_panic_on_vertex = Some(9);
+        let server = small_server_with(cfg);
+        // Both the original worker and its replacement hit the panic:
+        // one requeue, then a terminal WorkerLost.
+        let h = server.submit(Request::new(vec![9])).unwrap();
+        assert_eq!(h.wait().unwrap_err(), ServeError::WorkerLost);
+        // The poisoned cache lock recovers; an unrelated vertex serves.
+        let ok = server.submit(Request::new(vec![3])).unwrap().wait();
+        assert!(ok.is_ok(), "server must keep serving after the panic");
+        let stats = server.shutdown();
+        assert_eq!(stats.requeued, 1, "requeued exactly once");
+        assert_eq!(stats.worker_lost, 1);
+        assert_eq!(stats.worker_deaths, 2);
+        assert!(stats.poison_recoveries >= 1, "lock poison was recovered");
+    }
+
+    /// Park the supervisor's tick far in the future so a test can force
+    /// a degradation level without the monitor recomputing it.
+    fn freeze_ladder(cfg: &mut ServeConfig) {
+        cfg.supervisor.monitor_interval = Duration::from_secs(3600);
+    }
+
+    /// Let the monitor's *first* tick (which runs immediately at start,
+    /// before the frozen interval) pass, so it can't overwrite a level
+    /// the test forces afterwards.
+    fn settle(server: &GnnServer) {
+        std::thread::sleep(Duration::from_millis(30));
+        let _ = server.degradation_level();
+    }
+
+    #[test]
+    fn stale_cache_service_is_flagged_and_only_under_degradation() {
+        let mut cfg = small_config(64);
+        cfg.cache_ttl = Some(Duration::ZERO); // everything is stale
+        cfg.stale_grace = Duration::from_secs(3600);
+        freeze_ladder(&mut cfg);
+        let server = small_server_with(cfg);
+        settle(&server);
+        // Populate the cache at Normal level.
+        let a = server
+            .submit(Request::new(vec![4]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        // At Normal, the stale entry is not served: recomputed instead.
+        let b = server
+            .submit(Request::new(vec![4]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(a.outputs.data(), b.outputs.data());
+        assert!(!b.degraded.stale_cache);
+        // Force the ladder up: full queue pressure via the controller.
+        server.shared.degradation.update(0.6, 0.0);
+        assert_eq!(server.degradation_level(), DegradationLevel::StaleOk);
+        let c = server
+            .submit(Request::new(vec![4]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(c.degraded.stale_cache, "stale row must be flagged");
+        assert_eq!(a.outputs.data(), c.outputs.data());
+        let stats = server.shutdown();
+        assert!(stats.cache_stale_hits >= 1);
+        assert!(stats.degraded >= 1);
+    }
+
+    #[test]
+    fn reduced_hops_is_flagged_and_invisible_at_full_depth() {
+        let mut cfg = small_config(64);
+        freeze_ladder(&mut cfg);
+        let server = small_server_with(cfg);
+        settle(&server);
+        server.shared.degradation.update(0.8, 0.0);
+        assert_eq!(server.degradation_level(), DegradationLevel::ReducedHops);
+        let r = server
+            .submit(Request::new(vec![8]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(r.degraded.reduced_hops);
+        // The truncated row caches only under its own depth key: back at
+        // Normal the vertex is recomputed at full depth, unflagged.
+        server.shared.degradation.update(0.0, 0.0);
+        let full = server
+            .submit(Request::new(vec![8]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!full.degraded.any());
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.computed_targets, 2,
+            "full-depth lookup must not see the truncated row"
+        );
+    }
+
+    #[test]
+    fn shed_level_rejects_submissions() {
+        let mut cfg = small_config(64);
+        freeze_ladder(&mut cfg);
+        let server = small_server_with(cfg);
+        settle(&server);
+        server.shared.degradation.update(2.0, 0.0);
+        assert_eq!(server.degradation_level(), DegradationLevel::Shed);
+        assert_eq!(
+            server.submit(Request::new(vec![1])).unwrap_err(),
+            ServeError::Overloaded
+        );
+        assert_eq!(server.stats().rejected, 1);
+    }
+
+    #[test]
+    fn shutdown_drained_requests_resolve_shutting_down_not_worker_lost() {
+        // No workers can make progress on these before shutdown: use a
+        // dead pool (device lost at launch 0, no respawn budget).
+        let mut cfg = small_config(0);
+        cfg.device.fault = gpu_sim::FaultPlan::device_lost_at(0);
+        cfg.supervisor.max_respawns = 0;
+        cfg.max_wait = Duration::from_secs(10);
+        cfg.max_batch = 64;
+        let server = small_server_with(cfg);
+        let h = server.submit(Request::new(vec![1])).unwrap();
+        let h2 = server.submit(Request::new(vec![2])).unwrap();
+        server.shutdown();
+        // Whichever path each took (requeue then drain, or never picked
+        // up), the channel closed during shutdown → ShuttingDown, not
+        // WorkerLost... unless it was the requeued-twice case, which a
+        // single death cannot produce.
+        for h in [h, h2] {
+            assert_eq!(h.wait().unwrap_err(), ServeError::ShuttingDown);
+        }
     }
 }

@@ -1,0 +1,96 @@
+//! Property-based tests of the serving primitives.
+//!
+//! The load-bearing one: a request racing `BatchQueue::push` against
+//! `shutdown` is never lost — it is either admitted (and later handed to
+//! a consumer exactly once) or handed back as `PushError::ShutDown`.
+//! There is no third outcome and no duplication, which is what lets the
+//! server promise that every submitted request terminally resolves.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tlpgnn_serve::{BatchQueue, PushError};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Concurrent pushes vs shutdown: every item is either served or
+    /// refused, exactly once, never both, never neither.
+    #[test]
+    fn push_vs_shutdown_loses_nothing(
+        (producers, per_producer, delay_us) in (1usize..5, 1usize..16, 0u64..300)
+    ) {
+        let q = Arc::new(BatchQueue::new(1024, 8, Duration::from_millis(1)));
+        let mut threads = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            threads.push(std::thread::spawn(move || {
+                let mut accepted = Vec::new();
+                let mut refused = Vec::new();
+                for i in 0..per_producer {
+                    let tag = (p * 1_000 + i) as u32;
+                    match q.push(tag) {
+                        Ok(_) => accepted.push(tag),
+                        Err(PushError::ShutDown(t)) => {
+                            assert_eq!(t, tag, "refused item handed back intact");
+                            refused.push(tag);
+                        }
+                        Err(PushError::Full(_)) => {
+                            unreachable!("capacity sized above the test's total pushes")
+                        }
+                    }
+                }
+                (accepted, refused)
+            }));
+        }
+        // Race the shutdown against the producers.
+        std::thread::sleep(Duration::from_micros(delay_us));
+        q.shutdown();
+        let mut accepted = Vec::new();
+        let mut refused = Vec::new();
+        for t in threads {
+            let (a, r) = t.join().expect("producer thread");
+            accepted.extend(a);
+            refused.extend(r);
+        }
+        // What a consumer drains after shutdown is exactly the accepted
+        // set (pop_batch serves queued work before returning None).
+        let mut served = Vec::new();
+        while let Some(batch) = q.pop_batch() {
+            served.extend(batch.into_iter().map(|(v, _)| v));
+        }
+        served.sort_unstable();
+        accepted.sort_unstable();
+        prop_assert_eq!(&served, &accepted);
+        prop_assert_eq!(
+            accepted.len() + refused.len(),
+            producers * per_producer,
+            "every push resolved exactly once"
+        );
+    }
+
+    /// A requeued item survives shutdown too: requeue_front after
+    /// shutdown is still drained by consumers, ahead of queued items.
+    #[test]
+    fn requeue_after_shutdown_is_still_served(
+        (queued, requeued) in (0usize..8, 1usize..4)
+    ) {
+        let q: BatchQueue<u32> = BatchQueue::new(64, 64, Duration::from_millis(1));
+        for i in 0..queued {
+            q.push(i as u32).unwrap();
+        }
+        q.shutdown();
+        let stamp = std::time::Instant::now();
+        for i in 0..requeued {
+            q.requeue_front(1_000 + i as u32, stamp);
+        }
+        let mut served = Vec::new();
+        while let Some(batch) = q.pop_batch() {
+            served.extend(batch.into_iter().map(|(v, _)| v));
+        }
+        prop_assert_eq!(served.len(), queued + requeued);
+        // The most recently requeued item is at the very front.
+        prop_assert_eq!(served[0], 1_000 + (requeued as u32) - 1);
+    }
+}
