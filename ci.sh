@@ -47,7 +47,7 @@ echo "=== serve smoke ==="
 # and exits non-zero unless requests completed, nothing was dropped while
 # idle, the cache registered hits, and the overload burst saw rejections.
 mkdir -p results
-./target/release/serve_bench --smoke
+./target/release/serve_bench --smoke | tee results/serve_bench_summary.txt
 
 echo "=== chaos smoke ==="
 # Seeded fault-injection scenarios (transient storm, device loss,
@@ -56,5 +56,45 @@ echo "=== chaos smoke ==="
 # identical event log; exits non-zero on any SLO violation (a hang, a
 # lost request, an unflagged wrong answer, unbounded requeueing).
 ./target/release/chaos_bench --smoke
+
+echo "=== slo smoke ==="
+# Causal-tracing and SLO-monitor invariants, checked from the exported
+# artifacts the way a dashboard or alerting pipe would consume them:
+#
+# 1. chaos_bench's device-loss scenario dumped a flight recording, and
+#    it is bounded (the recorder is a fixed 256-slot ring, so the dump
+#    can never grow past a few hundred KB even under event storms).
+test -s results/flightrec_device_loss.json
+flight_bytes="$(wc -c < results/flightrec_device_loss.json)"
+if [ "${flight_bytes}" -gt 262144 ]; then
+  echo "slo smoke: flight recorder dump unbounded (${flight_bytes} bytes)" >&2
+  exit 1
+fi
+# 2. serve_bench's slo_report: exactly one objective fired the
+#    burn-rate alert (the overload phase), the clean phases stayed ok.
+alerts="$(grep -o '"burn_alert": *true' results/slo_report.json | wc -l)"
+if [ "${alerts}" -ne 1 ]; then
+  echo "slo smoke: expected exactly 1 burn-rate alert (overload), saw ${alerts}" >&2
+  exit 1
+fi
+# 3. Telemetry overhead: serve_bench throughput with tracing disabled
+#    must be within noise of the enabled run above. Smoke runs on shared
+#    CI machines are noisy, so "within noise" is a deliberately generous
+#    3x band — this catches pathological overhead (accidental O(n) work
+#    or lock convoys on the hot path), not single-digit percentages,
+#    which the zero-alloc test in crates/telemetry covers.
+rps_on="$(awk -F'|' '$2 ~ /dynamic/ {gsub(/ /,"",$6); print $6; exit}' results/serve_bench_summary.txt)"
+TLPGNN_TELEMETRY=0 ./target/release/serve_bench --smoke | tee results/serve_bench_off.txt
+rps_off="$(awk -F'|' '$2 ~ /dynamic/ {gsub(/ /,"",$6); print $6; exit}' results/serve_bench_off.txt)"
+awk -v on="${rps_on}" -v off="${rps_off}" 'BEGIN {
+  if (on <= 0 || off <= 0 || on < off / 3 || on > off * 3) {
+    printf "slo smoke: throughput parity violated (enabled %s rps vs disabled %s rps)\n", on, off
+    exit 1
+  }
+}'
+# 4. The tracing layer must not perturb the perf-gate baseline: with
+#    telemetry enabled for the whole smoke, BENCH_<seq>.json is still
+#    byte-identical to the committed snapshot.
+echo "${bench_baseline_sha}" | sha256sum --check --quiet -
 
 echo "ci: all green"

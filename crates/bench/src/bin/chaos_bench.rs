@@ -36,6 +36,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gpu_sim::FaultPlan;
+use telemetry::TraceChain;
 use tlpgnn::{GnnModel, GnnNetwork};
 use tlpgnn_bench as bench;
 use tlpgnn_graph::{generators, Csr};
@@ -226,6 +227,8 @@ fn base_config(prefix: &str, args: &Args, cache: usize) -> ServeConfig {
 struct ScenarioResult {
     name: &'static str,
     requests: u64,
+    /// Causal trace chains the scenario's server published.
+    traces: u64,
     /// Deterministic event log; must be identical across same-seed runs.
     log: Vec<String>,
     /// SLO violations (empty = pass).
@@ -233,10 +236,18 @@ struct ScenarioResult {
 }
 
 impl ScenarioResult {
+    /// Also marks a scenario boundary for the observability substrate:
+    /// the flight recorder is relabelled (`flightrec_<name>.json`) and
+    /// cleared, and chains left over from a previous scenario (or the
+    /// reference pass) are drained from the collector.
     fn new(name: &'static str) -> Self {
+        telemetry::flight::recorder().set_label(name);
+        telemetry::flight::recorder().reset();
+        let _ = telemetry::collector().take_traces();
         Self {
             name,
             requests: 0,
+            traces: 0,
             log: Vec::new(),
             fails: Vec::new(),
         }
@@ -245,6 +256,58 @@ impl ScenarioResult {
     fn check(&mut self, ok: bool, msg: impl Into<String>) {
         if !ok {
             self.fails.push(msg.into());
+        }
+    }
+
+    /// Drain the chains this scenario's server published and verify each
+    /// explains its request's outcome end-to-end: well-formed per
+    /// [`TraceChain::validate`], and the terminal event's precursors are
+    /// present (a degraded response has a `degrade` event, a device-fault
+    /// failure has `fault` events, a worker-lost failure was salvaged
+    /// first, a blown deadline was `shed`).
+    fn validate_traces(&mut self) -> Vec<TraceChain> {
+        let chains = telemetry::collector().take_traces();
+        if !telemetry::enabled() {
+            return chains;
+        }
+        self.traces = chains.len() as u64;
+        for c in &chains {
+            if let Err(e) = c.validate() {
+                self.fails.push(format!("trace invariant: {e}"));
+                continue;
+            }
+            let term = c.events.last().expect("validated chains are non-empty");
+            let has = |k: &str| c.events.iter().any(|e| e.kind == k);
+            let explained = match term.kind {
+                "response" if term.detail == "degraded" => has("degrade"),
+                "error" if term.detail.starts_with("device_fault") => has("fault"),
+                "error" if term.detail.starts_with("worker_lost") => has("salvage"),
+                "error" if term.detail.starts_with("deadline_exceeded") => has("shed"),
+                _ => true,
+            };
+            if !explained {
+                self.fails.push(format!(
+                    "trace {} outcome `{}({})` unexplained by its chain: {}",
+                    c.id,
+                    term.kind,
+                    term.detail,
+                    c.canonical()
+                ));
+            }
+        }
+        chains
+    }
+
+    /// Append the canonical (timestamp-free) chains to the determinism
+    /// log, sorted by trace id. Only sequential scenarios call this —
+    /// racy ones validate chains but keep them out of the compared log.
+    fn log_chains(&mut self, mut chains: Vec<TraceChain>) {
+        if !telemetry::enabled() {
+            return;
+        }
+        chains.sort_by_key(|c| c.id);
+        for c in &chains {
+            self.log.push(c.canonical());
         }
     }
 }
@@ -294,8 +357,13 @@ fn baseline(fx: &Fixture, args: &Args) -> ScenarioResult {
     let mut r = ScenarioResult::new("baseline");
     let server = fx.server(base_config("chaos.baseline", args, 256));
     let oks = sequential_requests(&mut r, fx, &server, args.seed ^ 0xba5e, args.requests);
+    let slo = server.slo_report();
     let s = server.shutdown();
     r.check(oks == args.requests as u64, "not every request resolved Ok");
+    r.check(
+        !slo.burn_alert && slo.total_errors == 0,
+        "clean run must not burn error budget",
+    );
     r.check(s.completed == args.requests as u64, "completed != offered");
     r.check(
         s.retries == 0 && s.worker_deaths == 0 && s.device_faults == 0 && s.degraded == 0,
@@ -305,6 +373,8 @@ fn baseline(fx: &Fixture, args: &Args) -> ScenarioResult {
         "completed={} retries={} deaths={} degraded={}",
         s.completed, s.retries, s.worker_deaths, s.degraded
     ));
+    let chains = r.validate_traces();
+    r.log_chains(chains);
     r
 }
 
@@ -328,6 +398,16 @@ fn transient_storm(fx: &Fixture, args: &Args) -> ScenarioResult {
         "completed={} retries={} device_faults={}",
         s.completed, s.retries, s.device_faults
     ));
+    let chains = r.validate_traces();
+    if telemetry::enabled() {
+        r.check(
+            chains
+                .iter()
+                .any(|c| c.events.iter().any(|e| e.kind == "retry")),
+            "transient-storm chains must record retry events",
+        );
+    }
+    r.log_chains(chains);
     r
 }
 
@@ -355,7 +435,55 @@ fn device_loss(fx: &Fixture, args: &Args) -> ScenarioResult {
         "completed={} deaths={} requeued={} worker_lost={}",
         s.completed, s.worker_deaths, s.requeued, s.worker_lost
     ));
+    let chains = r.validate_traces();
+    if telemetry::enabled() {
+        r.check(
+            chains
+                .iter()
+                .any(|c| c.events.iter().any(|e| e.kind == "salvage")),
+            "the salvaged batch's chains must record the salvage",
+        );
+        check_flight_dump(&mut r);
+    }
+    r.log_chains(chains);
     r
+}
+
+/// The worker death above is a permanent fault, so the flight recorder
+/// must have dumped `flightrec_device_loss.json` — present, parseable,
+/// and bounded by the ring capacity.
+fn check_flight_dump(r: &mut ScenarioResult) {
+    let dir = std::env::var("TLPGNN_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let path = std::path::Path::new(&dir).join(format!("flightrec_{}.json", r.name));
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            r.fails
+                .push(format!("flight dump missing at {}: {e}", path.display()));
+            return;
+        }
+    };
+    match telemetry::json::parse(&text) {
+        Ok(doc) => {
+            let events = doc
+                .get("events")
+                .and_then(telemetry::json::Value::as_arr)
+                .map_or(0, <[telemetry::json::Value]>::len);
+            let cap = telemetry::flight::recorder().capacity();
+            r.check(events > 0, "flight dump holds no events");
+            r.check(
+                events <= cap,
+                format!("flight dump holds {events} events, over the {cap} ring bound"),
+            );
+            r.check(
+                doc.get("reason")
+                    .and_then(telemetry::json::Value::as_str)
+                    .is_some_and(|s| s.starts_with("worker_death")),
+                "flight dump reason must name the worker death",
+            );
+        }
+        Err(e) => r.fails.push(format!("flight dump unparseable: {e}")),
+    }
 }
 
 /// Scenario 4 — every launch runs 6× slower (thermal throttling /
@@ -382,6 +510,8 @@ fn straggler(fx: &Fixture, args: &Args) -> ScenarioResult {
         "completed={} straggler_events={injected}",
         s.completed
     ));
+    let chains = r.validate_traces();
+    r.log_chains(chains);
     r
 }
 
@@ -464,12 +594,30 @@ fn overload_faults(fx: &Fixture, args: &Args) -> ScenarioResult {
         resolved += res;
         wrong += wr;
     }
-    let submitted = (clients * per_client) as u64;
+    let server = Arc::try_unwrap(server).ok().expect("clients dropped");
+    // Deterministic overload tail: latency-critical requests whose
+    // deadline has already passed at submission. Each is shed at pickup
+    // and burns error budget, so the burn-rate alert below cannot depend
+    // on how the racy burst happened to schedule.
+    let expired_tail = 8usize;
+    for i in 0..expired_tail {
+        let t = fx.pool[i % POOL];
+        let outcome = match server.submit(Request::new(vec![t]).with_deadline(Duration::ZERO)) {
+            Ok(h) => h.wait(),
+            Err(e) => Err(e),
+        };
+        if matches!(
+            outcome,
+            Err(ServeError::DeadlineExceeded | ServeError::Overloaded | ServeError::ShuttingDown)
+                | Ok(_)
+        ) {
+            resolved += 1;
+        }
+    }
+    let submitted = (clients * per_client + expired_tail) as u64;
     r.requests = submitted;
-    let s = Arc::try_unwrap(server)
-        .ok()
-        .expect("clients dropped")
-        .shutdown();
+    let slo = server.slo_report();
+    let s = server.shutdown();
     r.check(
         resolved == submitted,
         format!("only {resolved}/{submitted} submissions terminally resolved"),
@@ -479,6 +627,16 @@ fn overload_faults(fx: &Fixture, args: &Args) -> ScenarioResult {
         s.completed <= submitted,
         "served more requests than were submitted",
     );
+    r.check(
+        slo.burn_alert,
+        format!(
+            "overload must trip the burn-rate alert ({} errors, burn {:.2})",
+            slo.total_errors, slo.burn_rate
+        ),
+    );
+    // Scheduling is racy here, so chains stay out of the determinism
+    // log — but every one must still be well-formed and explained.
+    let _ = r.validate_traces();
     r.log.push(format!(
         "submitted={submitted} resolved={resolved} wrong={wrong}"
     ));
@@ -539,6 +697,8 @@ fn cache_poison(fx: &Fixture, args: &Args) -> ScenarioResult {
         "deaths={} requeued={} worker_lost={} poison_recoveries={}",
         s.worker_deaths, s.requeued, s.worker_lost, s.poison_recoveries
     ));
+    let chains = r.validate_traces();
+    r.log_chains(chains);
     r
 }
 
@@ -585,6 +745,8 @@ fn write_report(results: &[ScenarioResult], determinism_ok: bool) -> std::io::Re
 fn main() {
     let args = parse_args();
     let scope = bench::telemetry_scope("chaos_bench");
+    let dump_dir = std::env::var("TLPGNN_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    telemetry::flight::recorder().set_dump_dir(&dump_dir);
     bench::print_header("chaos_bench: fault-injection SLO gate for the serving stack");
     println!(
         "graph: rmat {}v/{}e | net: {}->{}->{} GCN | {} reqs/scenario | seed {} | {}",

@@ -133,6 +133,8 @@ struct PhaseOutcome {
     p99_ms: f64,
     mean_batch: f64,
     cache_hit_rate: f64,
+    /// Online SLO evaluation at phase end (windowed p99 + burn rate).
+    slo: telemetry::SloReport,
 }
 
 /// Run one closed-loop phase: `clients` threads, each `requests`
@@ -183,6 +185,7 @@ fn closed_loop(
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let server = Arc::try_unwrap(server).ok().expect("clients dropped");
+    let slo = server.slo_report();
     let stats = server.shutdown();
     let offered = (args.clients * args.requests) as u64;
     assert_eq!(stats.completed + client_rejected, offered);
@@ -199,6 +202,7 @@ fn closed_loop(
         p99_ms: latencies.percentile(99.0),
         mean_batch: stats.completed as f64 / (stats.batches.max(1)) as f64,
         cache_hit_rate: stats.cache_hit_rate(),
+        slo,
     }
 }
 
@@ -233,6 +237,7 @@ fn overload_phase(args: &Args, g: &Csr, x: &Matrix, net: &GnnNetwork) -> PhaseOu
         assert_eq!(resp.outputs.rows(), 1);
     }
     let elapsed = t0.elapsed().as_secs_f64();
+    let slo = server.slo_report();
     let stats = server.shutdown();
     assert_eq!(stats.completed + stats.rejected, offered);
     let throughput = stats.completed as f64 / elapsed.max(1e-9);
@@ -248,6 +253,7 @@ fn overload_phase(args: &Args, g: &Csr, x: &Matrix, net: &GnnNetwork) -> PhaseOu
         p99_ms: f64::NAN,
         mean_batch: stats.completed as f64 / (stats.batches.max(1)) as f64,
         cache_hit_rate: 0.0,
+        slo,
     }
 }
 
@@ -360,6 +366,10 @@ fn main() {
     }
     t.print();
     println!("\nbatching speedup (dynamic vs batch1): {speedup:.2}x");
+    print_slo_report(&phases);
+    if let Err(e) = write_slo_report(&phases) {
+        eprintln!("serve_bench: cannot write slo_report.json: {e}");
+    }
 
     let telemetry_active = !std::env::var("TLPGNN_TELEMETRY").is_ok_and(|v| v == "0");
     if telemetry_active {
@@ -377,6 +387,55 @@ fn main() {
         }
         std::process::exit(1);
     }
+}
+
+/// The `slo_report` summary: one row per phase from each server's online
+/// SLO monitor — windowed p99 against its target, error-budget burn rate,
+/// and whether the burn alert fired. The same numbers live as
+/// `serve.<phase>.slo.*` gauges in `metrics.json`.
+fn print_slo_report(phases: &[PhaseOutcome]) {
+    let mut t = bench::Table::new(
+        "serve_bench: slo_report (per-phase objective evaluation)",
+        &[
+            "Phase", "window", "p99 ms", "target", "err rate", "burn", "alert",
+        ],
+    );
+    for p in phases {
+        let s = &p.slo;
+        t.row(vec![
+            p.name.to_string(),
+            s.window_len.to_string(),
+            bench::fmt_ms(s.p99_ms),
+            bench::fmt_ms(s.p99_target_ms),
+            format!("{:.3}", s.error_rate),
+            format!("{:.2}", s.burn_rate),
+            if s.burn_alert {
+                "FIRING".into()
+            } else {
+                "ok".into()
+            },
+        ]);
+    }
+    t.print();
+}
+
+/// Write `results/slo_report.json`: the declared objectives and their
+/// end-of-run evaluation, one entry per phase.
+fn write_slo_report(phases: &[PhaseOutcome]) -> std::io::Result<()> {
+    let dir = std::env::var("TLPGNN_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    std::fs::create_dir_all(&dir)?;
+    let mut arr = telemetry::json::Value::array();
+    for p in phases {
+        let mut o = p.slo.to_json();
+        o.set("phase", p.name);
+        arr.push(o);
+    }
+    let mut doc = telemetry::json::Value::object();
+    doc.set("objectives", arr);
+    std::fs::write(
+        std::path::Path::new(&dir).join("slo_report.json"),
+        doc.to_string(),
+    )
 }
 
 /// Per-phase latency percentile table (end-to-end plus the queue /
@@ -457,6 +516,23 @@ fn check(
     }
     if overload.completed == 0 {
         fails.push("overload: accepted requests were not served".into());
+    }
+    // SLO monitor: rejections burn error budget, so the overload burst
+    // must fire the burn-rate alert; the healthy closed loops must not.
+    for name in ["batch1", "dynamic", "cached"] {
+        let p = by_name(name);
+        if p.slo.burn_alert {
+            fails.push(format!(
+                "{name}: burn-rate alert fired on a clean phase (burn {:.2})",
+                p.slo.burn_rate
+            ));
+        }
+    }
+    if !overload.slo.burn_alert {
+        fails.push(format!(
+            "overload: burn-rate alert did not fire ({} errors, burn {:.2})",
+            overload.slo.total_errors, overload.slo.burn_rate
+        ));
     }
     if !smoke && speedup < 2.0 {
         fails.push(format!(

@@ -186,6 +186,10 @@ pub struct FaultEvent {
     pub kind: FaultKind,
     /// Name of the kernel whose launch was hit.
     pub kernel: String,
+    /// Causal trace id of the request whose launch triggered the fault
+    /// (read from [`telemetry::trace::current`] at injection time); 0
+    /// when the launch was not driven by a traced request.
+    pub trace: u64,
 }
 
 impl fmt::Display for FaultEvent {
@@ -300,6 +304,7 @@ mod tests {
             launch: 2,
             kind: FaultKind::Straggler { factor: 4.0 },
             kernel: "fused".into(),
+            trace: 0,
         };
         assert!(e.to_string().contains("x4"));
     }

@@ -250,6 +250,9 @@ impl Device {
             launch: attempt,
             kind,
             kernel: kernel.to_string(),
+            // Tag the injection with the request that drove this launch
+            // (the serve worker marks its batch leader before computing).
+            trace: telemetry::trace::current(),
         };
         telemetry::counter_add(&format!("sim.fault.{}", kind.label()), 1);
         self.fault_log.push(event.clone());

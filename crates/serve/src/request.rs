@@ -3,6 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use telemetry::TraceEvent;
 use tlpgnn_tensor::Matrix;
 
 /// One inference request: compute the network's outputs at `targets`.
@@ -81,6 +82,10 @@ pub struct Response {
     /// Degraded-service flags; `Degradation::default()` (no flags) means
     /// full-fidelity service.
     pub degraded: Degradation,
+    /// The request's completed causal event chain (submission → queue →
+    /// pickup → attempts → terminal), replayable as a waterfall in the
+    /// Chrome-trace export. Empty when telemetry collection is disabled.
+    pub trace: Vec<TraceEvent>,
 }
 
 /// Where a request's latency went. Extraction/compute are per *batch*
@@ -122,6 +127,21 @@ pub enum ServeError {
     DeadlineExceeded,
     /// Device faults exhausted the retry budget for this request's batch.
     DeviceFault,
+}
+
+impl ServeError {
+    /// Stable label used in trace-event details and log lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded => "overloaded",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::InvalidTarget(_) => "invalid_target",
+            ServeError::EmptyRequest => "empty_request",
+            ServeError::WorkerLost => "worker_lost",
+            ServeError::DeadlineExceeded => "deadline_exceeded",
+            ServeError::DeviceFault => "device_fault",
+        }
+    }
 }
 
 impl fmt::Display for ServeError {

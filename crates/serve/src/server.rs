@@ -43,6 +43,7 @@ use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use gpu_sim::{DeviceConfig, FaultPlan, LaunchError};
+use telemetry::{SloMonitor, SloReport, SloSpec, TraceContext};
 use tlpgnn::{EngineOptions, GnnNetwork, TlpgnnEngine};
 use tlpgnn_graph::subgraph::ego_graph;
 use tlpgnn_graph::Csr;
@@ -98,6 +99,10 @@ pub struct ServeConfig {
     /// Prefix for every telemetry metric the server emits (lets several
     /// server instances in one process keep their metrics apart).
     pub metrics_prefix: String,
+    /// Service-level objective the online monitor evaluates: windowed
+    /// p99 latency target and unflagged-error budget. Gauges publish
+    /// under `<metrics_prefix>.slo.*`.
+    pub slo: SloSpec,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +123,7 @@ impl Default for ServeConfig {
             supervisor: SupervisorConfig::default(),
             chaos_panic_on_vertex: None,
             metrics_prefix: "serve".to_string(),
+            slo: SloSpec::default(),
         }
     }
 }
@@ -193,6 +199,7 @@ struct MetricNames {
     retries: String,
     requeued: String,
     degraded: String,
+    slo_prefix: String,
 }
 
 impl MetricNames {
@@ -214,18 +221,22 @@ impl MetricNames {
             retries: format!("{prefix}.retries"),
             requeued: format!("{prefix}.requeued"),
             degraded: format!("{prefix}.degraded"),
+            slo_prefix: format!("{prefix}.slo"),
         }
     }
 }
 
 /// An admitted request: what to serve, its absolute deadline, how often
 /// it has been requeued after a worker death, and where to answer.
-/// Cloneable so a worker can park a salvage copy while it processes.
+/// Cloneable so a worker can park a salvage copy while it processes —
+/// the clone shares the same causal chain, so events appended by either
+/// copy (worker progress, supervisor salvage) land in one history.
 #[derive(Clone)]
 struct Pending {
     request: Request,
     deadline: Option<Instant>,
     requeues: u32,
+    trace: TraceContext,
     tx: mpsc::Sender<Result<Response, ServeError>>,
 }
 
@@ -246,6 +257,10 @@ struct Shared {
     chaos_panic_on_vertex: Option<u32>,
     shutting_down: Arc<AtomicBool>,
     metrics: MetricNames,
+    /// Trace ids derive from this submission-order counter — never from
+    /// the wall clock — so same-seed runs allocate identical ids.
+    next_trace: AtomicU64,
+    slo: SloMonitor,
     completed: AtomicU64,
     rejected: AtomicU64,
     batches: AtomicU64,
@@ -274,6 +289,22 @@ fn lock_cache(shared: &Shared) -> MutexGuard<'_, FeatureCache> {
         telemetry::counter_add("serve.cache.poison_recovered", 1);
         guard
     })
+}
+
+impl Shared {
+    /// Feed a successful completion to the SLO monitor and refresh the
+    /// `<prefix>.slo.*` gauges.
+    fn slo_ok(&self, latency_ms: f64) {
+        self.slo.record_ok(latency_ms);
+        self.slo.publish(&self.metrics.slo_prefix);
+    }
+
+    /// Feed an unflagged failure to the SLO monitor (burns error budget)
+    /// and refresh the `<prefix>.slo.*` gauges.
+    fn slo_error(&self) {
+        self.slo.record_error();
+        self.slo.publish(&self.metrics.slo_prefix);
+    }
 }
 
 /// A handle on one submitted request; [`wait`](ResponseHandle::wait)
@@ -347,6 +378,8 @@ impl GnnServer {
             graph,
             features,
             net,
+            next_trace: AtomicU64::new(0),
+            slo: SloMonitor::new(cfg.slo.clone()),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -395,7 +428,7 @@ impl GnnServer {
             let queue = Arc::clone(&queue);
             let shared = Arc::clone(&shared);
             let in_flight = Arc::clone(&in_flight);
-            Box::new(move |slot: usize, _cause: DeathCause| {
+            Box::new(move |slot: usize, cause: DeathCause| {
                 shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
                 let parked = in_flight[slot]
                     .lock()
@@ -408,11 +441,16 @@ impl GnnServer {
                         p.requeues = 1;
                         shared.requeued.fetch_add(1, Ordering::Relaxed);
                         telemetry::counter_add(&shared.metrics.requeued, 1);
+                        p.trace
+                            .push("salvage", || format!("cause={}", cause.label()));
                         queue.requeue_front(p, enqueued);
                     } else {
                         // Second death with this request in flight: fail
                         // it rather than requeue forever.
                         shared.worker_lost.fetch_add(1, Ordering::Relaxed);
+                        p.trace
+                            .finish("error", || format!("worker_lost cause={}", cause.label()));
+                        shared.slo_error();
                         let _ = p.tx.send(Err(ServeError::WorkerLost));
                     }
                 }
@@ -449,9 +487,24 @@ impl GnnServer {
         if let Some(&bad) = request.targets.iter().find(|&&t| t >= n) {
             return Err(ServeError::InvalidTarget(bad));
         }
+        // Malformed input above is a caller bug and gets no chain; every
+        // well-formed submission is traced from here on. Ids come from a
+        // submission-order counter, never the wall clock, so same-seed
+        // runs allocate identical ids.
+        let trace = TraceContext::new(self.shared.next_trace.fetch_add(1, Ordering::Relaxed) + 1);
+        trace.push("submit", || {
+            format!(
+                "targets={} hops={}",
+                request.targets.len(),
+                request
+                    .hops
+                    .map_or_else(|| "exact".to_string(), |h| h.to_string()),
+            )
+        });
         if self.shared.degradation.level() == DegradationLevel::Shed {
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             telemetry::counter_add(&self.shared.metrics.rejected, 1);
+            self.reject(&trace, "shed");
             return Err(ServeError::Overloaded);
         }
         let (tx, rx) = mpsc::channel();
@@ -460,11 +513,13 @@ impl GnnServer {
             request,
             deadline,
             requeues: 0,
+            trace: trace.clone(),
             tx,
         };
         match self.queue.push(pending) {
             Ok(depth) => {
                 telemetry::gauge_set(&self.shared.metrics.queue_depth, depth as f64);
+                trace.push("enqueue", || format!("depth={depth}"));
                 Ok(ResponseHandle {
                     rx,
                     shutting_down: Arc::clone(&self.shared.shutting_down),
@@ -473,10 +528,28 @@ impl GnnServer {
             Err(PushError::Full(_)) => {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter_add(&self.shared.metrics.rejected, 1);
+                self.reject(&trace, "queue_full");
                 Err(ServeError::Overloaded)
             }
-            Err(PushError::ShutDown(_)) => Err(ServeError::ShuttingDown),
+            Err(PushError::ShutDown(_)) => {
+                // Administrative refusal: close the chain but burn no
+                // error budget — shutdown is not a service failure.
+                trace.finish("reject", || "shutting_down".to_string());
+                Err(ServeError::ShuttingDown)
+            }
         }
+    }
+
+    /// Terminate a rejected admission: close its chain and burn error
+    /// budget (an overload rejection is an unflagged failure).
+    fn reject(&self, trace: &TraceContext, why: &'static str) {
+        trace.finish("reject", || format!("overloaded ({why})"));
+        self.shared.slo_error();
+    }
+
+    /// Evaluate the declared SLO against the current completion window.
+    pub fn slo_report(&self) -> SloReport {
+        self.shared.slo.report()
     }
 
     /// The exact extraction depth (`GnnNetwork::receptive_hops`) used for
@@ -549,6 +622,7 @@ impl GnnServer {
         // If the respawn budget ran out mid-drain, requests may remain
         // queued with no worker left: fail them terminally.
         for (p, _) in self.queue.drain_remaining() {
+            p.trace.finish("error", || "shutting_down".to_string());
             let _ = p.tx.send(Err(ServeError::ShuttingDown));
         }
     }
@@ -603,6 +677,9 @@ fn shed_expired(shared: &Shared, batch: Batch) -> Batch {
     for (p, _) in expired {
         shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
         telemetry::counter_add(&shared.metrics.deadline_exceeded, 1);
+        p.trace.push("shed", || "deadline passed".to_string());
+        p.trace.finish("error", || "deadline_exceeded".to_string());
+        shared.slo_error();
         let _ = p.tx.send(Err(ServeError::DeadlineExceeded));
     }
     live
@@ -623,6 +700,9 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
     let m = &shared.metrics;
     let classes = shared.net.out_dim();
     let level = shared.degradation.level();
+    for (p, _) in &batch {
+        p.trace.push("pickup", || format!("batch={}", batch.len()));
+    }
 
     // Unique targets across the batch, first-occurrence order.
     let mut uniq: Vec<u32> = Vec::new();
@@ -649,6 +729,15 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
     if level >= DegradationLevel::ReducedHops && hops > 1 {
         hops -= 1;
         reduced = true;
+        // Trace the ladder only when its decision changed this batch's
+        // behaviour — a level that alters nothing leaves no causal mark,
+        // which keeps same-seed chains identical even when the monitor's
+        // sampling of a transient level races the batch.
+        for (p, _) in &batch {
+            p.trace.push("ladder", || {
+                format!("level={} hops={requested_hops}->{hops}", level.label())
+            });
+        }
     }
 
     // Cache pass: pull every hit, collect the misses. Past-TTL entries
@@ -687,6 +776,22 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
         telemetry::counter_add(&m.cache_misses, miss_targets.len() as u64);
         telemetry::gauge_set(&m.cache_hit_rate, cache.hit_rate());
     }
+    // Per-request cache outcome (rows currently holds only cache hits).
+    for (p, _) in &batch {
+        p.trace.push("cache", || {
+            let (mut fresh, mut stale, mut miss) = (0usize, 0usize, 0usize);
+            for t in &p.request.targets {
+                if stale_targets.contains(t) {
+                    stale += 1;
+                } else if rows.contains_key(t) {
+                    fresh += 1;
+                } else {
+                    miss += 1;
+                }
+            }
+            format!("hits={fresh} stale={stale} miss={miss}")
+        });
+    }
 
     // One extraction + one forward pass for every miss in the batch.
     let mut extract_ms = 0.0;
@@ -716,17 +821,40 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
         };
         let t1 = Instant::now();
         let mut attempt = 0u32;
+        // gpu-sim tags injected faults with the trace whose launch hit
+        // them: mark the batch leader as current for the compute span.
+        telemetry::trace::set_current(batch[0].0.trace.id());
         let out = loop {
+            for (p, _) in &batch {
+                p.trace.push("attempt", || format!("idx={attempt}"));
+            }
             let _span = telemetry::span!("serve.compute", vertices = ego.vertices.len());
             match engine.try_classify_forward(&shared.net, &ego.csr, &sub_feats) {
                 Ok((out, _profile)) => break Some(out),
-                Err(LaunchError::DeviceLost) => return ProcessOutcome::DeviceLost,
+                Err(LaunchError::DeviceLost) => {
+                    telemetry::trace::set_current(0);
+                    // Not terminal for the chain: the supervisor salvages
+                    // the parked copy and appends `salvage` next.
+                    for (p, _) in &batch {
+                        p.trace.push("fault", || "device_lost".to_string());
+                    }
+                    return ProcessOutcome::DeviceLost;
+                }
                 Err(LaunchError::TransientFault { .. }) => {
                     attempt += 1;
+                    for (p, _) in &batch {
+                        p.trace
+                            .push("fault", || format!("transient attempt={attempt}"));
+                    }
                     match shared.retry.schedule(attempt, Instant::now(), retry_cap) {
                         Some(backoff) => {
                             shared.retries.fetch_add(1, Ordering::Relaxed);
                             telemetry::counter_add(&m.retries, 1);
+                            for (p, _) in &batch {
+                                p.trace.push("retry", || {
+                                    format!("attempt={attempt} backoff_us={}", backoff.as_micros())
+                                });
+                            }
                             std::thread::sleep(backoff);
                         }
                         None => break None,
@@ -734,6 +862,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
                 }
             }
         };
+        telemetry::trace::set_current(0);
         compute_ms = ms(t1.elapsed());
         telemetry::observe(&m.compute_ms, compute_ms);
 
@@ -778,6 +907,10 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
         let targets = &p.request.targets;
         if targets.iter().any(|t| !rows.contains_key(t)) {
             shared.device_faults.fetch_add(1, Ordering::Relaxed);
+            p.trace.finish("error", || {
+                "device_fault (retry budget exhausted)".to_string()
+            });
+            shared.slo_error();
             let _ = p.tx.send(Err(ServeError::DeviceFault));
             continue;
         }
@@ -809,17 +942,28 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
         if degraded.any() {
             shared.degraded.fetch_add(1, Ordering::Relaxed);
             telemetry::counter_add(&m.degraded, 1);
+            p.trace.push("degrade", || {
+                format!(
+                    "stale_cache={} reduced_hops={}",
+                    degraded.stale_cache, degraded.reduced_hops
+                )
+            });
         }
         let outputs = Matrix::from_vec(targets.len(), classes, data);
         let e2e = ms(enqueued.elapsed());
         telemetry::observe(&m.e2e_latency_ms, e2e);
         telemetry::counter_add(&m.completed, 1);
         shared.completed.fetch_add(1, Ordering::Relaxed);
+        let trace = p.trace.finish("response", || {
+            if degraded.any() { "degraded" } else { "ok" }.to_string()
+        });
+        shared.slo_ok(e2e);
         // A dropped handle just means the client stopped waiting.
         let _ = p.tx.send(Ok(Response {
             outputs,
             timing,
             degraded,
+            trace,
         }));
     }
     ProcessOutcome::Done

@@ -36,6 +36,16 @@ pub enum DeathCause {
     Panic,
 }
 
+impl DeathCause {
+    /// Stable label used in trace events and flight-recorder dump reasons.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeathCause::DeviceLost => "device_lost",
+            DeathCause::Panic => "panic",
+        }
+    }
+}
+
 /// Supervision knobs.
 #[derive(Debug, Clone)]
 pub struct SupervisorConfig {
@@ -306,6 +316,10 @@ fn poll_once(inner: &Inner) {
             }
         };
         telemetry::counter_add("serve.supervisor.worker_death", 1);
+        // A worker death is a permanent fault: dump the flight recorder
+        // *before* salvage mutates any state, so the dump holds the
+        // events leading up to the death.
+        telemetry::flight::trigger(&format!("worker_death:{}", cause.label()));
         (inner.on_death)(i, cause);
         // A slot that keeps dying trips its circuit breaker and is
         // retired without touching the pool-wide respawn budget.
@@ -315,6 +329,7 @@ fn poll_once(inner: &Inner) {
         };
         if tripped {
             telemetry::counter_add("serve.supervisor.circuit_open", 1);
+            telemetry::flight::trigger("circuit_open");
             let mut slots = lock_slots(inner);
             slots[i].state = SlotState::Dead;
             continue;

@@ -3,8 +3,12 @@
 //! snapshot.
 //!
 //! Trace layout:
-//! * **pid 1 `host`** — one track per host thread; every [`SpanRecord`]
-//!   becomes a `ph:"X"` complete event (RAII guarantees proper nesting).
+//! * **pid 1 `host`** — one track per host thread (labelled with the OS
+//!   thread's name when it has one); every [`SpanRecord`] becomes a
+//!   `ph:"X"` complete event (RAII guarantees proper nesting).
+//! * **pid 2 `requests`** — one track per traced request: each causal
+//!   chain renders as a waterfall of complete events (each stage spans
+//!   until the next event) ending in an instant terminal marker.
 //! * **pid 100+d `sim-gpu-<d>`** — one track per simulated SM plus a
 //!   `launches` track; each kernel launch becomes a complete event on the
 //!   `launches` track and each scheduled block a complete event on its
@@ -20,6 +24,9 @@ use crate::Collector;
 
 /// The `tid` used for the per-device kernel-launch track.
 pub const LAUNCH_TRACK_TID: u64 = 9999;
+
+/// The `pid` of the per-request waterfall process.
+pub const REQUEST_PID: u64 = 2;
 
 fn meta(name: &str, pid: u64, tid: Option<u64>, label: &str) -> Value {
     let mut args = Value::object();
@@ -54,6 +61,19 @@ fn complete_event(
     e
 }
 
+fn instant_event(name: &str, cat: &str, pid: u64, tid: u64, ts_us: f64, args: Value) -> Value {
+    let mut e = Value::object();
+    e.set("name", name)
+        .set("cat", cat)
+        .set("ph", "i")
+        .set("s", "t")
+        .set("pid", pid)
+        .set("tid", tid)
+        .set("ts", ts_us)
+        .set("args", args);
+    e
+}
+
 fn span_event(s: &SpanRecord) -> Value {
     let mut args = Value::object();
     args.set("id", s.id).set("depth", s.depth);
@@ -80,12 +100,64 @@ pub fn chrome_trace(c: &Collector) -> Value {
     events.push(meta("process_name", 1, None, "host"));
 
     let spans = c.spans_snapshot();
+    let names = c.thread_names_snapshot();
     let tids: BTreeSet<u64> = spans.iter().map(|s| s.tid).collect();
     for tid in tids {
-        events.push(meta("thread_name", 1, Some(tid), &format!("thread {tid}")));
+        let label = names
+            .get(&tid)
+            .cloned()
+            .unwrap_or_else(|| format!("thread {tid}"));
+        events.push(meta("thread_name", 1, Some(tid), &label));
     }
     for s in &spans {
         events.push(span_event(s));
+    }
+
+    let traces = c.traces_snapshot();
+    if !traces.is_empty() {
+        events.push(meta("process_name", REQUEST_PID, None, "requests"));
+    }
+    for t in &traces {
+        events.push(meta(
+            "thread_name",
+            REQUEST_PID,
+            Some(t.id),
+            &format!("req {}", t.id),
+        ));
+        // Waterfall: each stage occupies the time until the next event;
+        // the terminal event is an instant marker.
+        for pair in t.events.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let mut args = Value::object();
+            args.set("seq", a.seq);
+            if !a.detail.is_empty() {
+                args.set("detail", a.detail.clone());
+            }
+            events.push(complete_event(
+                a.kind,
+                "request",
+                REQUEST_PID,
+                t.id,
+                a.t_ns as f64 / 1e3,
+                (b.t_ns.saturating_sub(a.t_ns)) as f64 / 1e3,
+                args,
+            ));
+        }
+        if let Some(last) = t.events.last() {
+            let mut args = Value::object();
+            args.set("seq", last.seq);
+            if !last.detail.is_empty() {
+                args.set("detail", last.detail.clone());
+            }
+            events.push(instant_event(
+                last.kind,
+                "request",
+                REQUEST_PID,
+                t.id,
+                last.t_ns as f64 / 1e3,
+                args,
+            ));
+        }
     }
 
     let timelines = c.timelines_snapshot();
@@ -156,7 +228,8 @@ pub fn metrics_json(c: &Collector) -> Value {
 }
 
 /// Render every recorded event as JSON Lines: one `{"type":"span",...}`
-/// object per completed span and one `{"type":"kernel",...}` per launch.
+/// object per completed span, one `{"type":"kernel",...}` per launch,
+/// and one `{"type":"trace",...}` per causal trace event.
 pub fn events_jsonl(c: &Collector) -> String {
     let mut out = String::new();
     for s in c.spans_snapshot() {
@@ -193,6 +266,21 @@ pub fn events_jsonl(c: &Collector) -> String {
             .set("limiter", k.limiter);
         out.push_str(&o.to_string());
         out.push('\n');
+    }
+    for t in c.traces_snapshot() {
+        for e in &t.events {
+            let mut o = Value::object();
+            o.set("type", "trace")
+                .set("trace_id", e.trace_id)
+                .set("seq", e.seq)
+                .set("kind", e.kind)
+                .set("ts_us", e.t_ns as f64 / 1e3);
+            if !e.detail.is_empty() {
+                o.set("detail", e.detail.clone());
+            }
+            out.push_str(&o.to_string());
+            out.push('\n');
+        }
     }
     out
 }

@@ -44,19 +44,25 @@
 
 pub mod diff;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod sim;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot};
 pub use sim::{BlockSlice, KernelSample, SimKernelTimeline, SmTimeline, MAX_BLOCK_EVENTS};
+pub use slo::{SloMonitor, SloReport, SloSpec};
 pub use span::{SpanGuard, SpanRecord};
+pub use trace::{TraceChain, TraceContext, TraceEvent};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -80,6 +86,8 @@ pub struct Collector {
     spans: Mutex<Vec<SpanRecord>>,
     kernels: Mutex<Vec<KernelSample>>,
     timelines: Mutex<Vec<SimKernelTimeline>>,
+    traces: Mutex<Vec<TraceChain>>,
+    thread_names: Mutex<BTreeMap<u64, String>>,
     metrics: Metrics,
     next_span_id: AtomicU64,
     next_tid: AtomicU64,
@@ -101,6 +109,8 @@ impl Collector {
             spans: Mutex::new(Vec::new()),
             kernels: Mutex::new(Vec::new()),
             timelines: Mutex::new(Vec::new()),
+            traces: Mutex::new(Vec::new()),
+            thread_names: Mutex::new(BTreeMap::new()),
             metrics: Metrics::new(),
             next_span_id: AtomicU64::new(1),
             next_tid: AtomicU64::new(1),
@@ -123,7 +133,31 @@ impl Collector {
 
     /// Store a completed span (called by [`SpanGuard`] on drop).
     pub fn record_span(&self, s: SpanRecord) {
+        self.metrics.counter_add("telemetry.self.spans", 1);
         self.spans.lock().unwrap().push(s);
+    }
+
+    /// Store a completed causal chain (called by
+    /// [`trace::TraceContext::finish`]).
+    pub fn record_trace(&self, chain: TraceChain) {
+        self.metrics.counter_add("telemetry.self.traces", 1);
+        self.metrics
+            .counter_add("telemetry.self.trace_events", chain.events.len() as u64);
+        self.traces.lock().unwrap().push(chain);
+    }
+
+    /// Remember a display name for a telemetry thread id (the Chrome
+    /// trace exporter renders it as the track name).
+    pub fn register_thread_name(&self, tid: u64, name: &str) {
+        self.thread_names
+            .lock()
+            .unwrap()
+            .insert(tid, name.to_string());
+    }
+
+    /// Clone of the tid → display-name map.
+    pub fn thread_names_snapshot(&self) -> BTreeMap<u64, String> {
+        self.thread_names.lock().unwrap().clone()
     }
 
     /// Store a kernel sample and publish it into the metrics registry as
@@ -132,6 +166,7 @@ impl Collector {
     /// and `limiter.<limiter>` counters.
     pub fn record_kernel(&self, sample: KernelSample) {
         let m = &self.metrics;
+        m.counter_add("telemetry.self.kernel_samples", 1);
         let k = &sample.name;
         m.observe(&format!("kernel.{k}.gpu_time_ms"), sample.gpu_time_ms);
         m.observe(
@@ -173,12 +208,25 @@ impl Collector {
         self.timelines.lock().unwrap().clone()
     }
 
+    /// Clone of every completed causal chain so far.
+    pub fn traces_snapshot(&self) -> Vec<TraceChain> {
+        self.traces.lock().unwrap().clone()
+    }
+
+    /// Remove and return every completed causal chain (per-scenario
+    /// isolation for harnesses that validate chains between runs).
+    pub fn take_traces(&self) -> Vec<TraceChain> {
+        std::mem::take(&mut *self.traces.lock().unwrap())
+    }
+
     /// Drop all recorded events and metrics (run-over-run isolation).
-    /// Span/thread id counters keep counting; the epoch is unchanged.
+    /// Span/thread id counters keep counting; the epoch and thread
+    /// names are unchanged.
     pub fn reset(&self) {
         self.spans.lock().unwrap().clear();
         self.kernels.lock().unwrap().clear();
         self.timelines.lock().unwrap().clear();
+        self.traces.lock().unwrap().clear();
         self.metrics.reset();
     }
 }
@@ -190,20 +238,30 @@ pub fn collector() -> &'static Collector {
     COLLECTOR.get_or_init(Collector::new)
 }
 
-/// Clear the global collector's events and metrics.
+/// Clear the global collector's events and metrics, and the flight
+/// recorder's ring.
 pub fn reset() {
     collector().reset();
+    flight::recorder().reset();
 }
 
 thread_local! {
     static TID: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Small per-thread id for trace tracks (assigned on first use).
+/// Small per-thread id for trace tracks (assigned on first use). The
+/// OS thread's name is captured at assignment time so exported tracks
+/// carry legible labels (`serve-worker-0.1`) instead of raw tids.
 pub(crate) fn current_tid() -> u64 {
     TID.with(|t| {
         if t.get() == 0 {
-            t.set(collector().alloc_tid());
+            let c = collector();
+            let tid = c.alloc_tid();
+            t.set(tid);
+            match std::thread::current().name() {
+                Some(name) if !name.is_empty() => c.register_thread_name(tid, name),
+                _ => c.register_thread_name(tid, &format!("thread {tid}")),
+            }
         }
         t.get()
     })

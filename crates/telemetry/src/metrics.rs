@@ -230,11 +230,20 @@ impl MetricsSnapshot {
     }
 
     /// Parse a `metrics.json` document produced by [`Self::to_json`].
+    ///
+    /// Degrades gracefully on partial documents: a `null` counter or
+    /// gauge (how non-finite values serialize) and a `null` or
+    /// field-incomplete histogram summary are *skipped*, not fatal —
+    /// the entry simply parses as absent, and a later diff reports it
+    /// as missing instead of refusing the whole file.
     pub fn from_json_str(text: &str) -> Result<Self, String> {
         let v = json::parse(text)?;
         let mut snap = Self::default();
         if let Some(fields) = v.get("counters").and_then(Value::as_obj) {
             for (k, c) in fields {
+                if matches!(c, Value::Null) {
+                    continue;
+                }
                 let n = c
                     .as_f64()
                     .ok_or_else(|| format!("counter {k:?} is not a number"))?;
@@ -243,6 +252,9 @@ impl MetricsSnapshot {
         }
         if let Some(fields) = v.get("gauges").and_then(Value::as_obj) {
             for (k, g) in fields {
+                if matches!(g, Value::Null) {
+                    continue;
+                }
                 let n = g
                     .as_f64()
                     .ok_or_else(|| format!("gauge {k:?} is not a number"))?;
@@ -251,8 +263,17 @@ impl MetricsSnapshot {
         }
         if let Some(fields) = v.get("histograms").and_then(Value::as_obj) {
             for (k, h) in fields {
-                snap.histograms
-                    .insert(k.clone(), HistogramSummary::from_json(h)?);
+                if matches!(h, Value::Null) {
+                    continue;
+                }
+                match HistogramSummary::from_json(h) {
+                    Ok(s) => {
+                        snap.histograms.insert(k.clone(), s);
+                    }
+                    // A summary with null/absent fields (non-finite
+                    // stats) is dropped, not fatal.
+                    Err(_) => continue,
+                }
             }
         }
         Ok(snap)
@@ -326,6 +347,51 @@ mod tests {
         h.observe(f64::INFINITY);
         h.observe(2.0);
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn null_and_partial_entries_parse_as_absent() {
+        // A NaN gauge serializes as `null`; a snapshot containing one
+        // must still parse, with the null entry simply missing — the
+        // diff layer then reports it as "missing" instead of the whole
+        // file being rejected.
+        let m = Metrics::new();
+        m.gauge_set("lat.p50", f64::NAN);
+        m.gauge_set("lat.p90", 3.0);
+        let text = m.snapshot().to_json().to_string();
+        assert!(text.contains("null"), "NaN gauge serializes as null");
+        let snap = MetricsSnapshot::from_json_str(&text).unwrap();
+        assert!(!snap.gauges.contains_key("lat.p50"));
+        assert_eq!(snap.gauges["lat.p90"], 3.0);
+
+        let partial = r#"{
+            "counters": {"ok": 1, "broken": null},
+            "gauges": {},
+            "histograms": {
+                "h.null": null,
+                "h.partial": {"count": 2, "min": null},
+                "h.ok": {"count": 1, "min": 1.0, "max": 1.0, "mean": 1.0,
+                         "p50": 1.0, "p90": 1.0, "p99": 1.0}
+            }
+        }"#;
+        let snap = MetricsSnapshot::from_json_str(partial).unwrap();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.histograms.len(), 1);
+        assert!(snap.histograms.contains_key("h.ok"));
+
+        // And the diff against a complete snapshot reports the absent
+        // entries as missing rather than failing.
+        let full = Metrics::new();
+        full.gauge_set("lat.p50", 1.0);
+        full.gauge_set("lat.p90", 3.0);
+        let m2 = Metrics::new();
+        m2.gauge_set("lat.p50", f64::NAN);
+        m2.gauge_set("lat.p90", 3.0);
+        let roundtrip =
+            MetricsSnapshot::from_json_str(&m2.snapshot().to_json().to_string()).unwrap();
+        let report = crate::diff::diff(&full.snapshot(), &roundtrip, 0.10);
+        assert!(!report.has_regressions());
+        assert_eq!(report.missing, vec!["gauge.lat.p50 (only in old)"]);
     }
 
     #[test]

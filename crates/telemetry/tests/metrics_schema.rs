@@ -1,0 +1,58 @@
+//! Golden-file test pinning the `metrics.json` schema: the top-level
+//! sections, per-section key ordering (lexicographic — the registry is
+//! BTreeMap-backed), and the exact field set of a histogram summary.
+//! Downstream consumers (`telemetry-diff`, the CI SLO smoke, external
+//! dashboards) parse this layout; renaming a section or a summary field
+//! must show up as a reviewed golden diff, not a silent break.
+//!
+//! Regenerate after an intentional schema change with:
+//! `TLPGNN_BLESS=1 cargo test -p tlpgnn-telemetry --test metrics_schema`
+
+use telemetry::{Collector, MetricsSnapshot};
+
+fn representative_collector() -> Collector {
+    let c = Collector::new();
+    let m = c.metrics();
+    // One metric of each kind a serve-tier run produces, with the SLO
+    // and self-observation names the ISSUE pins.
+    m.counter_add("serve.completed", 41);
+    m.counter_add("serve.retries", 3);
+    m.counter_add("telemetry.flight.dumps", 1);
+    m.counter_add("telemetry.self.events", 207);
+    m.gauge_set("serve.slo.p99_ms", 12.5);
+    m.gauge_set("serve.slo.p99_target_ms", 250.0);
+    m.gauge_set("serve.slo.burn_rate", 0.25);
+    m.gauge_set("serve.slo.burn_alert", 0.0);
+    for v in [1.0, 2.0, 3.0, 4.0] {
+        m.observe("serve.latency.e2e_ms", v);
+    }
+    c
+}
+
+#[test]
+fn metrics_json_schema_is_pinned() {
+    let c = representative_collector();
+    let rendered = telemetry::export::metrics_json(&c).to_string();
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/metrics_schema.json"
+    );
+    if std::env::var("TLPGNN_BLESS").is_ok() {
+        std::fs::write(golden, &rendered).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(golden).expect("golden file present");
+    assert_eq!(
+        rendered, expected,
+        "metrics.json layout drifted from tests/golden/metrics_schema.json; \
+         if intentional, re-bless with TLPGNN_BLESS=1"
+    );
+}
+
+#[test]
+fn schema_round_trips_through_the_parser() {
+    let c = representative_collector();
+    let rendered = telemetry::export::metrics_json(&c).to_string();
+    let parsed = MetricsSnapshot::from_json_str(&rendered).expect("own output parses");
+    assert_eq!(parsed, c.metrics().snapshot());
+}

@@ -43,6 +43,10 @@ fn disabled_telemetry_allocates_nothing() {
         telemetry::gauge_set("warmup", 1.0);
     }
 
+    // The trace context itself allocates once at request admission;
+    // create it outside the measured window like the warmup above.
+    let trace = telemetry::TraceContext::new(1);
+
     let before = allocations();
     for i in 0..10_000u64 {
         // The launch-shaped hot path: a span with formatted args, a
@@ -52,7 +56,12 @@ fn disabled_telemetry_allocates_nothing() {
         telemetry::counter_add("kernel.fused_gcn.launches", 1);
         telemetry::observe("kernel.fused_gcn.gpu_time_ms", i as f64);
         telemetry::gauge_set("device.mem", i as f64);
+        // The request-shaped hot path: causal events never format their
+        // detail strings (the closure must not even run) when disabled.
+        trace.push("pickup", || format!("batch={i}"));
+        telemetry::trace::set_current(i);
     }
+    telemetry::trace::set_current(0);
     let after = allocations();
     assert_eq!(
         after - before,
