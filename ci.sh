@@ -51,11 +51,25 @@ mkdir -p results
 
 echo "=== chaos smoke ==="
 # Seeded fault-injection scenarios (transient storm, device loss,
-# straggler, overload+faults, cache poison, clean baseline) against the
-# serving stack. Each runs twice with the same seed and must produce an
-# identical event log; exits non-zero on any SLO violation (a hang, a
-# lost request, an unflagged wrong answer, unbounded requeueing).
+# straggler, overload+faults, cache poison, sharded serving, clean
+# baseline) against the serving stack. Each runs twice with the same seed
+# and must produce an identical event log; exits non-zero on any SLO
+# violation (a hang, a lost request, an unflagged wrong answer, unbounded
+# requeueing, a misrouted shard request).
 ./target/release/chaos_bench --smoke
+
+echo "=== shard smoke ==="
+# Sharded serving of a graph larger than one device's memory budget:
+# capacity proof, bitwise oracle equality against the single-device
+# server, Zipfian load with per-shard telemetry, and same-seed trace
+# determinism — the binary re-reads results/shard_bench.metrics.json and
+# exits non-zero if any invariant fails. (At shard count 1 the layer is
+# provably invisible — zero halo fetches, bitwise-equal output — covered
+# by the tlpgnn-serve/tlpgnn-shard test suites above.) The perf-gate
+# baselines must stay byte-identical: the shard layer lives beside the
+# engine, not inside it.
+./target/release/shard_bench --smoke
+echo "${bench_baseline_sha}" | sha256sum --check --quiet -
 
 echo "=== slo smoke ==="
 # Causal-tracing and SLO-monitor invariants, checked from the exported

@@ -1,7 +1,7 @@
 //! **chaos_bench** — seeded fault-injection chaos harness for the
 //! serving stack.
 //!
-//! Runs six scenarios against `tlpgnn-serve`, each driven by a
+//! Runs seven scenarios against `tlpgnn-serve`, each driven by a
 //! deterministic `gpu_sim::FaultPlan` (or the server's chaos hook), and
 //! asserts the service-level invariants the resilience layer exists to
 //! uphold:
@@ -13,7 +13,7 @@
 //!   responses are explicitly flagged.
 //! * **Bounded recovery** — a lost worker is respawned and its in-flight
 //!   batch requeued exactly once, so service resumes within one batch.
-//! * **Determinism** — all six scenarios run *twice* with the same seed
+//! * **Determinism** — all seven scenarios run *twice* with the same seed
 //!   and must produce identical event logs (fault injection is a pure
 //!   function of `(seed, launch index)`, and racy scenarios log only
 //!   order-independent aggregates).
@@ -22,9 +22,12 @@
 //! (35% launch-failure rate, retried to success), `device_loss`
 //! (permanent mid-batch device death → respawn + requeue), `straggler`
 //! (every launch 6× slower, results still exact), `overload_faults`
-//! (concurrent burst + faults + deadlines against a small queue), and
+//! (concurrent burst + faults + deadlines against a small queue),
 //! `cache_poison` (worker panics holding the cache lock → poison
-//! recovery + exactly-once requeue).
+//! recovery + exactly-once requeue), and `sharded` (graph partitioned
+//! across four simulated devices — answers stay bitwise equal to the
+//! single-device reference and every chain's `shard_route` decision
+//! names the shard that owns its seed vertex).
 //!
 //! Writes `results/chaos_bench.json` (per-scenario verdicts) plus the
 //! standard telemetry exports, and exits non-zero on any SLO violation
@@ -40,7 +43,9 @@ use telemetry::TraceChain;
 use tlpgnn::{GnnModel, GnnNetwork};
 use tlpgnn_bench as bench;
 use tlpgnn_graph::{generators, Csr};
-use tlpgnn_serve::{GnnServer, Request, RetryPolicy, ServeConfig, ServeError};
+use tlpgnn_serve::{
+    GnnServer, Request, RetryPolicy, ServeConfig, ServeError, ShardedConfig, ShardedServer,
+};
 use tlpgnn_tensor::Matrix;
 
 /// Vertices the scenarios draw their targets from. Small enough that the
@@ -702,6 +707,137 @@ fn cache_poison(fx: &Fixture, args: &Args) -> ScenarioResult {
     r
 }
 
+/// Scenario 7 — the sharded tier under the same microscope. The graph is
+/// partitioned across four simulated devices; every sequential request
+/// must come back bitwise equal to the single-device reference, and every
+/// chain must *explain its routing*: the `shard_route` decision recorded
+/// right after `submit` names the shard that actually owns the seed
+/// vertex, and any `halo_fetch` rides a routed chain (the latter enforced
+/// by `TraceChain::validate` itself).
+fn sharded(fx: &Fixture, args: &Args) -> ScenarioResult {
+    let mut r = ScenarioResult::new("sharded");
+    let server = ShardedServer::start(
+        ShardedConfig {
+            shards: 4,
+            replicate_hot: 16,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+            cache_capacity: 256,
+            metrics_prefix: "chaos.shard".to_string(),
+            ..ShardedConfig::default()
+        },
+        fx.g.clone(),
+        fx.x.clone(),
+        fx.net.clone(),
+    );
+    // The vertex→shard directory, captured while the server is alive so
+    // the chain check below can audit routing decisions after shutdown.
+    let owner_of: std::collections::HashMap<u32, usize> = fx
+        .pool
+        .iter()
+        .map(|&v| (v, server.plan().owner_of(v)))
+        .collect();
+    let mut oks = 0u64;
+    for i in 0..args.requests {
+        let t = fx.target(args.seed ^ 0x5a4d, i);
+        let outcome = match server.submit(Request::new(vec![t])) {
+            Ok(h) => h.wait(),
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok(resp) => {
+                oks += 1;
+                let h = hash_row(resp.outputs.data());
+                r.check(
+                    h == fx.expected_for(t),
+                    format!("req {i} target {t}: sharded answer differs from reference"),
+                );
+                r.log.push(format!(
+                    "req={i} target={t} shard={} outcome=ok hash={h:016x}",
+                    owner_of[&t]
+                ));
+            }
+            Err(e) => r.log.push(format!("req={i} target={t} outcome=err:{e}")),
+        }
+    }
+    r.requests = args.requests as u64;
+    let s = server.shutdown();
+    r.check(oks == args.requests as u64, "not every request resolved Ok");
+    r.check(
+        s.rejected == 0 && s.device_faults == 0,
+        "clean sharded run rejected or faulted",
+    );
+    r.check(
+        s.per_shard_completed.iter().filter(|&&c| c > 0).count() >= 2,
+        "pool traffic must reach more than one shard",
+    );
+    r.check(
+        s.halo.fetch_batches > 0,
+        "multi-hop extraction across 4 shards must exchange halos",
+    );
+    r.log.push(format!(
+        "completed={} per_shard={:?} halo_batches={} halo_rows={} halo_bytes={}",
+        s.completed,
+        s.per_shard_completed,
+        s.halo.fetch_batches,
+        s.halo.fetched_rows,
+        s.halo.fetched_bytes
+    ));
+    let chains = r.validate_traces();
+    // Routing audit: each chain's `shard_route` decision must name the
+    // shard that owns the seed vertex it recorded.
+    for c in &chains {
+        let Some(route) = c.events.iter().find(|e| e.kind == "shard_route") else {
+            r.fails
+                .push(format!("trace {}: sharded chain has no shard_route", c.id));
+            continue;
+        };
+        let mut shard = None;
+        let mut seed = None;
+        for tok in route.detail.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("shard=") {
+                shard = v.parse::<usize>().ok();
+            }
+            if let Some(v) = tok.strip_prefix("seed=") {
+                seed = v.parse::<u32>().ok();
+            }
+        }
+        match (shard, seed) {
+            (Some(shard), Some(seed)) => r.check(
+                owner_of.get(&seed) == Some(&shard),
+                format!(
+                    "trace {}: routed to shard {shard} but vertex {seed} is owned by shard {:?}",
+                    c.id,
+                    owner_of.get(&seed)
+                ),
+            ),
+            _ => r.fails.push(format!(
+                "trace {}: unparsable shard_route detail `{}`",
+                c.id, route.detail
+            )),
+        }
+        // A request whose cache lookup missed forced a distributed
+        // extraction, and that extraction must have published its halo
+        // accounting onto the chain. (Fully-cached batches never
+        // extract, so hit-only chains legitimately carry no halo_fetch.)
+        let missed = c.events.iter().any(|e| {
+            e.kind == "cache"
+                && e.detail
+                    .split_whitespace()
+                    .any(|tok| tok.strip_prefix("miss=").is_some_and(|v| v != "0"))
+        });
+        if missed && !c.events.iter().any(|e| e.kind == "halo_fetch") {
+            r.fails.push(format!(
+                "trace {}: cache miss forced an extraction but the chain has no halo_fetch",
+                c.id
+            ));
+        }
+    }
+    r.log_chains(chains);
+    r
+}
+
 fn run_all(fx: &Fixture, args: &Args) -> Vec<ScenarioResult> {
     vec![
         baseline(fx, args),
@@ -710,6 +846,7 @@ fn run_all(fx: &Fixture, args: &Args) -> Vec<ScenarioResult> {
         straggler(fx, args),
         overload_faults(fx, args),
         cache_poison(fx, args),
+        sharded(fx, args),
     ]
 }
 

@@ -51,6 +51,32 @@ impl Default for Interconnect {
     }
 }
 
+impl Interconnect {
+    /// Modelled time of one transfer of `bytes`, ms: the per-transfer
+    /// latency plus the bandwidth term. Zero bytes cost nothing (no
+    /// transfer is issued).
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            self.latency_us / 1e3 + bytes as f64 / (self.bandwidth_gbps * 1e9) * 1e3
+        }
+    }
+
+    /// Modelled time of `batches` coalesced transfers moving `bytes` in
+    /// total: each batch pays the latency once, the bytes pay the
+    /// bandwidth term once. This is the figure the sharded serve tier
+    /// charges for one request's halo exchange.
+    pub fn batched_transfer_ms(&self, batches: u64, bytes: u64) -> f64 {
+        if batches == 0 {
+            0.0
+        } else {
+            batches as f64 * self.latency_us / 1e3
+                + bytes as f64 / (self.bandwidth_gbps * 1e9) * 1e3
+        }
+    }
+}
+
 /// Profile of one multi-GPU convolution.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MultiGpuProfile {
@@ -71,11 +97,7 @@ pub struct MultiGpuProfile {
 impl MultiGpuProfile {
     /// Communication time of device `d`, ms.
     pub fn comm_ms(&self, ic: &Interconnect, d: usize) -> f64 {
-        if self.halo_bytes[d] == 0 {
-            0.0
-        } else {
-            ic.latency_us / 1e3 + self.halo_bytes[d] as f64 / (ic.bandwidth_gbps * 1e9) * 1e3
-        }
+        ic.transfer_ms(self.halo_bytes[d])
     }
 }
 

@@ -102,6 +102,28 @@ impl VertexPartition {
         let i = self.bounds.partition_point(|&b| b <= v);
         i.saturating_sub(1).min(self.parts() - 1)
     }
+
+    /// Total vertices covered: the final bound.
+    pub fn num_vertices(&self) -> usize {
+        *self.bounds.last().unwrap() as usize
+    }
+
+    /// Structural well-formedness: at least one part, bounds start at
+    /// zero and never decrease. Returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bounds.len() < 2 {
+            return Err("partition needs at least one part".to_string());
+        }
+        if self.bounds[0] != 0 {
+            return Err(format!("bounds must start at 0, got {}", self.bounds[0]));
+        }
+        for w in self.bounds.windows(2) {
+            if w[0] > w[1] {
+                return Err(format!("bounds decrease: {} > {}", w[0], w[1]));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Split `[0, n)` into `parts` contiguous ranges with balanced edge
@@ -197,11 +219,29 @@ mod tests {
     fn part_of_consistent_with_ranges() {
         let g = generators::erdos_renyi(100, 700, 3);
         let p = edge_balanced_partition(&g, 3);
+        p.validate().unwrap();
+        assert_eq!(p.num_vertices(), 100);
         for part in 0..p.parts() {
             for v in p.range(part) {
                 assert_eq!(p.part_of(v as u32), part);
             }
         }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_bounds() {
+        assert!(VertexPartition { bounds: vec![0] }.validate().is_err());
+        assert!(VertexPartition { bounds: vec![1, 5] }.validate().is_err());
+        assert!(VertexPartition {
+            bounds: vec![0, 5, 3]
+        }
+        .validate()
+        .is_err());
+        VertexPartition {
+            bounds: vec![0, 3, 3, 5],
+        }
+        .validate()
+        .unwrap();
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub struct CacheKey {
     pub hops: u16,
     /// Model version; bumping it invalidates every older entry.
     pub version: u32,
+    /// Shard whose worker computed the row (0 for the unsharded
+    /// server). Final-layer embeddings are a pure function of (vertex,
+    /// layer, hops, version) — the distributed extraction is bitwise
+    /// equal to the single-device one, so replicas *could* safely share
+    /// entries. The dimension is still keyed so each shard's cache
+    /// capacity models that device's memory, and so a future
+    /// shard-local invalidation (rebalance, replica refresh) cannot
+    /// serve a row cached under a different shard's lifecycle.
+    pub shard: u16,
 }
 
 struct Entry {
@@ -250,6 +259,7 @@ mod tests {
             layer: 2,
             hops: 2,
             version: 1,
+            shard: 0,
         }
     }
 
@@ -287,7 +297,7 @@ mod tests {
     }
 
     #[test]
-    fn version_layer_and_hops_partition_the_keyspace() {
+    fn version_layer_hops_and_shard_partition_the_keyspace() {
         let mut c = FeatureCache::new(8);
         c.insert(
             CacheKey {
@@ -295,6 +305,7 @@ mod tests {
                 layer: 2,
                 hops: 2,
                 version: 1,
+                shard: 0,
             },
             vec![1.0],
         );
@@ -303,7 +314,8 @@ mod tests {
                 vertex: 5,
                 layer: 2,
                 hops: 2,
-                version: 2
+                version: 2,
+                shard: 0,
             })
             .is_none());
         assert!(c
@@ -311,7 +323,8 @@ mod tests {
                 vertex: 5,
                 layer: 1,
                 hops: 2,
-                version: 1
+                version: 1,
+                shard: 0,
             })
             .is_none());
         assert!(c
@@ -319,7 +332,17 @@ mod tests {
                 vertex: 5,
                 layer: 2,
                 hops: 1,
-                version: 1
+                version: 1,
+                shard: 0,
+            })
+            .is_none());
+        assert!(c
+            .get(CacheKey {
+                vertex: 5,
+                layer: 2,
+                hops: 2,
+                version: 1,
+                shard: 1,
             })
             .is_none());
     }

@@ -18,9 +18,9 @@
 //!   a single engine forward pass on the induced subgraph — one upload +
 //!   kernel-launch sequence for the whole batch instead of one per
 //!   request ([`server`]).
-//! * An **LRU feature cache** keyed by `(vertex, layer, model_version)`
-//!   lets hot vertices skip extraction and recomputation entirely
-//!   ([`cache`]).
+//! * An **LRU feature cache** keyed by
+//!   `(vertex, layer, hops, model_version, shard)` lets hot vertices
+//!   skip extraction and recomputation entirely ([`cache`]).
 //! * **Backpressure** is explicit: the request queue is bounded and
 //!   `submit` fails fast with [`ServeError::Overloaded`] past capacity —
 //!   the queue never grows without bound ([`batcher`], [`server`]).
@@ -30,6 +30,12 @@
 //!   ([`supervisor`]), and a load-shedding degradation ladder whose
 //!   responses are explicitly flagged ([`request::Degradation`]). See the
 //!   [`server`] module docs for the fault-handling contract.
+//! * **Sharded serving** for graphs larger than one device: a
+//!   [`sharded::ShardedServer`] partitions the graph across N simulated
+//!   devices (`tlpgnn_shard`), routes each request to the shard owning
+//!   its seed vertex, and extracts ego graphs through a halo-exchange
+//!   path whose results are bitwise equal to the single-device server
+//!   ([`sharded`]).
 //!
 //! Everything is instrumented through `telemetry` under the server's
 //! metrics prefix (default `serve`): `<prefix>.queue_depth` gauge,
@@ -63,6 +69,7 @@ pub mod cache;
 pub mod policy;
 pub mod request;
 pub mod server;
+pub mod sharded;
 pub mod supervisor;
 pub mod workload;
 
@@ -73,5 +80,6 @@ pub use policy::{
 };
 pub use request::{Degradation, Request, RequestTiming, Response, ServeError};
 pub use server::{GnnServer, ResponseHandle, ServeConfig, ServerStats};
+pub use sharded::{ShardedConfig, ShardedServer, ShardedStats};
 pub use supervisor::{DeathCause, HealthSnapshot, Supervisor, SupervisorConfig, WorkerExit};
 pub use workload::ZipfSampler;

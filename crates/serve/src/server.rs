@@ -316,6 +316,16 @@ pub struct ResponseHandle {
 }
 
 impl ResponseHandle {
+    /// Assemble a handle from a response channel and the owning
+    /// server's shutdown flag (shared with the sharded router, which
+    /// reuses this handle type for its own submissions).
+    pub(crate) fn new(
+        rx: mpsc::Receiver<Result<Response, ServeError>>,
+        shutting_down: Arc<AtomicBool>,
+    ) -> Self {
+        Self { rx, shutting_down }
+    }
+
     /// Block until the request is served (or failed). A dropped channel
     /// during shutdown resolves to [`ServeError::ShuttingDown`]; outside
     /// shutdown it means the serving worker died
@@ -760,6 +770,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
                 layer: shared.final_layer,
                 hops: hops as u16,
                 version: shared.model_version,
+                shard: 0,
             };
             match cache.get_aged(key, shared.cache_ttl, grace) {
                 Lookup::Fresh(row) => {
@@ -881,6 +892,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
                         layer: shared.final_layer,
                         hops: hops as u16,
                         version: shared.model_version,
+                        shard: 0,
                     },
                     row.clone(),
                 );

@@ -1,0 +1,1014 @@
+//! Shard-aware serving: route by seed-vertex shard, extract through
+//! halo exchange, serve graphs no single device can hold.
+//!
+//! A [`ShardedServer`] slices the graph and feature matrix into one
+//! [`ShardStore`] per simulated device (`tlpgnn_shard`) and then drops
+//! the unpartitioned copies — no worker ever holds the whole graph.
+//! Each shard runs one worker thread with its own engine, bounded
+//! [`BatchQueue`], and [`FeatureCache`] (keyed with the shard's index,
+//! modelling per-device cache memory).
+//!
+//! ## Routing and coalescing
+//!
+//! [`submit`](ShardedServer::submit) routes a request to the shard
+//! owning its *seed* (first) target and records the decision as a
+//! `shard_route` trace event directly after `submit` — on every path,
+//! including rejects, so `TraceChain::validate` can hold the routing
+//! invariant unconditionally. Concurrent requests routed to the same
+//! shard coalesce in its micro-batch queue exactly like the unsharded
+//! server: one distributed extraction and one forward pass serve the
+//! union of the batch's miss targets, so overlapping ego-graphs are
+//! extracted once.
+//!
+//! ## Halo exchange
+//!
+//! A request's receptive field rarely stays inside one shard. The
+//! extraction ([`tlpgnn_shard::distributed_ego`]) pulls remote rows in
+//! one batched fetch per (BFS level, remote shard), every fetch is
+//! counted under `<prefix>.halo.*`, and the modelled transfer time
+//! (the core crate's [`Interconnect`] cost model, the same one
+//! `multi_gpu` uses) is charged to the request's latency. Because the
+//! traversal is order-identical to the single-device `ego_graph` and
+//! the fused engine is atomic-free, sharded responses are **bitwise
+//! equal** to the unsharded server's given the same batch composition.
+//!
+//! ## Faults
+//!
+//! Shard devices are forced fault-free ([`FaultPlan::none`]): the
+//! retry/supervision/degradation machinery of [`GnnServer`] guards a
+//! replicated worker pool, where any worker can serve any request. A
+//! shard's store exists on exactly one device, so salvage-by-requeue
+//! has nowhere else to run the work — fault-tolerant shard failover
+//! (standby replicas) is future work and out of scope here.
+//!
+//! [`GnnServer`]: crate::server::GnnServer
+//! [`FaultPlan::none`]: gpu_sim::FaultPlan::none
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gpu_sim::{DeviceConfig, FaultPlan};
+use telemetry::{SloMonitor, SloReport, SloSpec, TraceContext};
+use tlpgnn::multi_gpu::Interconnect;
+use tlpgnn::{EngineOptions, GnnNetwork, TlpgnnEngine};
+use tlpgnn_graph::Csr;
+use tlpgnn_shard::{distributed_ego, graph_bytes, HaloStats, ShardPlan, ShardStore};
+use tlpgnn_tensor::Matrix;
+
+use crate::batcher::{BatchQueue, PushError};
+use crate::cache::{CacheKey, FeatureCache};
+use crate::request::{Degradation, Request, RequestTiming, Response, ServeError};
+use crate::server::ResponseHandle;
+
+/// Configuration of a [`ShardedServer`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Simulated devices the graph is partitioned across (one worker,
+    /// queue, and cache per shard).
+    pub shards: usize,
+    /// Highest-degree vertices replicated on every shard (adjacency +
+    /// feature rows), converting the hottest halo fetches into local
+    /// reads.
+    pub replicate_hot: usize,
+    /// Maximum requests coalesced into one per-shard batch.
+    pub max_batch: usize,
+    /// Maximum time the oldest queued request waits before a partial
+    /// batch flushes.
+    pub max_wait: Duration,
+    /// Bounded per-shard queue capacity; pushes past it are rejected
+    /// with [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Per-shard LRU cache capacity in vertex rows (0 disables).
+    pub cache_capacity: usize,
+    /// Model version stamped into cache keys.
+    pub model_version: u32,
+    /// Simulated device each shard runs on. Its fault plan is ignored:
+    /// shard devices are forced fault-free (see the module docs).
+    pub device: DeviceConfig,
+    /// Engine tunables.
+    pub engine_options: EngineOptions,
+    /// Interconnect cost model for halo transfers.
+    pub interconnect: Interconnect,
+    /// Optional per-device memory budget, bytes. When set, `start`
+    /// panics if any shard's store exceeds it — the guard `shard_bench`
+    /// uses to prove the serving graph outgrew a single device.
+    pub device_budget_bytes: Option<u64>,
+    /// Prefix for every telemetry metric (halo counters land under
+    /// `<prefix>.halo.*`, per-shard gauges under `<prefix>.shard.<i>.*`).
+    pub metrics_prefix: String,
+    /// Service-level objective, evaluated globally and per shard
+    /// (gauges under `<prefix>.slo.*` and `<prefix>.slo.shard.<i>.*`).
+    pub slo: SloSpec,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            replicate_hot: 64,
+            max_batch: 16,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+            cache_capacity: 65_536,
+            model_version: 1,
+            device: DeviceConfig::test_small(),
+            engine_options: EngineOptions::default(),
+            interconnect: Interconnect::default(),
+            device_budget_bytes: None,
+            metrics_prefix: "shard".to_string(),
+            slo: SloSpec::default(),
+        }
+    }
+}
+
+/// Counter snapshot of a sharded server.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardedStats {
+    /// Requests answered with a [`Response`].
+    pub completed: u64,
+    /// Requests rejected with [`ServeError::Overloaded`].
+    pub rejected: u64,
+    /// Batches executed across all shards.
+    pub batches: u64,
+    /// Target rows computed on an engine (cache misses actually served).
+    pub computed_targets: u64,
+    /// Cache hits summed over the per-shard caches.
+    pub cache_hits: u64,
+    /// Cache misses summed over the per-shard caches.
+    pub cache_misses: u64,
+    /// Requests shed with [`ServeError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Requests failed with [`ServeError::DeviceFault`] (defensive; the
+    /// fault-free shard devices never trigger it).
+    pub device_faults: u64,
+    /// Requests completed per shard, indexed by shard.
+    pub per_shard_completed: Vec<u64>,
+    /// Aggregate halo-exchange accounting across all extractions.
+    pub halo: HaloStats,
+}
+
+/// Pre-rendered per-shard metric names.
+struct ShardNames {
+    load: String,
+    completed: String,
+    e2e_latency_ms: String,
+    slo_prefix: String,
+}
+
+/// Pre-rendered metric names so the hot path never formats strings.
+struct Names {
+    batch_size: String,
+    queue_ms: String,
+    extraction_ms: String,
+    compute_ms: String,
+    halo_ms: String,
+    e2e_latency_ms: String,
+    completed: String,
+    rejected: String,
+    cache_hits: String,
+    cache_misses: String,
+    cache_hit_rate: String,
+    deadline_exceeded: String,
+    halo_fetch_batches: String,
+    halo_fetched_rows: String,
+    halo_fetched_features: String,
+    halo_fetched_bytes: String,
+    halo_replica_hits: String,
+    halo_local_hits: String,
+    slo_prefix: String,
+    shard: Vec<ShardNames>,
+}
+
+impl Names {
+    fn new(prefix: &str, shards: usize) -> Self {
+        Self {
+            batch_size: format!("{prefix}.batch_size"),
+            queue_ms: format!("{prefix}.queue_ms"),
+            extraction_ms: format!("{prefix}.extraction_ms"),
+            compute_ms: format!("{prefix}.compute_ms"),
+            halo_ms: format!("{prefix}.halo_ms"),
+            e2e_latency_ms: format!("{prefix}.e2e_latency_ms"),
+            completed: format!("{prefix}.completed"),
+            rejected: format!("{prefix}.rejected"),
+            cache_hits: format!("{prefix}.cache.hits"),
+            cache_misses: format!("{prefix}.cache.misses"),
+            cache_hit_rate: format!("{prefix}.cache.hit_rate"),
+            deadline_exceeded: format!("{prefix}.deadline_exceeded"),
+            halo_fetch_batches: format!("{prefix}.halo.fetch_batches"),
+            halo_fetched_rows: format!("{prefix}.halo.fetched_rows"),
+            halo_fetched_features: format!("{prefix}.halo.fetched_features"),
+            halo_fetched_bytes: format!("{prefix}.halo.fetched_bytes"),
+            halo_replica_hits: format!("{prefix}.halo.replica_hits"),
+            halo_local_hits: format!("{prefix}.halo.local_hits"),
+            slo_prefix: format!("{prefix}.slo"),
+            shard: (0..shards)
+                .map(|i| ShardNames {
+                    load: format!("{prefix}.shard.{i}.load"),
+                    completed: format!("{prefix}.shard.{i}.completed"),
+                    e2e_latency_ms: format!("{prefix}.shard.{i}.e2e_latency_ms"),
+                    slo_prefix: format!("{prefix}.slo.shard.{i}"),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An admitted request parked in a shard's queue.
+struct Pending {
+    request: Request,
+    deadline: Option<Instant>,
+    trace: TraceContext,
+    tx: mpsc::Sender<Result<Response, ServeError>>,
+}
+
+type Batch = Vec<(Pending, Instant)>;
+
+struct Shared {
+    plan: ShardPlan,
+    stores: Vec<ShardStore>,
+    net: GnnNetwork,
+    exact_hops: usize,
+    final_layer: u16,
+    model_version: u32,
+    interconnect: Interconnect,
+    caches: Vec<Mutex<FeatureCache>>,
+    shutting_down: Arc<AtomicBool>,
+    names: Names,
+    /// Trace ids come from this submission-order counter — never the
+    /// wall clock — so same-seed runs allocate identical ids.
+    next_trace: AtomicU64,
+    slo: SloMonitor,
+    shard_slos: Vec<SloMonitor>,
+    halo: Mutex<HaloStats>,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    computed_targets: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    device_faults: AtomicU64,
+    per_shard_completed: Vec<AtomicU64>,
+}
+
+impl Shared {
+    fn slo_ok(&self, shard: usize, latency_ms: f64) {
+        self.slo.record_ok(latency_ms);
+        self.slo.publish(&self.names.slo_prefix);
+        self.shard_slos[shard].record_ok(latency_ms);
+        self.shard_slos[shard].publish(&self.names.shard[shard].slo_prefix);
+    }
+
+    fn slo_error(&self, shard: usize) {
+        self.slo.record_error();
+        self.slo.publish(&self.names.slo_prefix);
+        self.shard_slos[shard].record_error();
+        self.shard_slos[shard].publish(&self.names.shard[shard].slo_prefix);
+    }
+}
+
+/// A multi-device GNN inference server over a partitioned graph. See
+/// the module docs for routing, coalescing, and the halo exchange.
+pub struct ShardedServer {
+    queues: Vec<Arc<BatchQueue<Pending>>>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardedServer {
+    /// Partition `graph` + `features` across `cfg.shards` devices and
+    /// start one worker per shard. The unpartitioned graph and feature
+    /// matrix are dropped after slicing — only the per-shard stores
+    /// stay resident.
+    ///
+    /// # Panics
+    /// Panics if `cfg.shards` is zero, the feature matrix does not have
+    /// one row per vertex, or a shard's store exceeds
+    /// `cfg.device_budget_bytes`.
+    pub fn start(cfg: ShardedConfig, graph: Csr, features: Matrix, net: GnnNetwork) -> Self {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert_eq!(
+            features.rows(),
+            graph.num_vertices(),
+            "feature matrix must have one row per vertex"
+        );
+        let plan = ShardPlan::build(&graph, cfg.shards, cfg.replicate_hot);
+        let stores = ShardStore::build_all(&graph, &features, &plan);
+        if let Some(budget) = cfg.device_budget_bytes {
+            let whole = graph_bytes(&graph, features.cols());
+            for s in &stores {
+                assert!(
+                    s.bytes() <= budget,
+                    "shard {} needs {} bytes, device budget is {budget} \
+                     (whole graph: {whole}; raise shards or the budget)",
+                    s.shard(),
+                    s.bytes()
+                );
+            }
+        }
+        // The whole-graph copies die here; from now on the largest
+        // resident slice is one shard's store.
+        drop(graph);
+        drop(features);
+
+        let names = Names::new(&cfg.metrics_prefix, cfg.shards);
+        let shared = Arc::new(Shared {
+            exact_hops: net.receptive_hops(),
+            final_layer: net.depth() as u16,
+            model_version: cfg.model_version,
+            interconnect: cfg.interconnect.clone(),
+            caches: (0..cfg.shards)
+                .map(|_| Mutex::new(FeatureCache::new(cfg.cache_capacity)))
+                .collect(),
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            names,
+            next_trace: AtomicU64::new(0),
+            slo: SloMonitor::new(cfg.slo.clone()),
+            shard_slos: (0..cfg.shards)
+                .map(|_| SloMonitor::new(cfg.slo.clone()))
+                .collect(),
+            halo: Mutex::new(HaloStats::default()),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            computed_targets: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            device_faults: AtomicU64::new(0),
+            per_shard_completed: (0..cfg.shards).map(|_| AtomicU64::new(0)).collect(),
+            plan,
+            stores,
+            net,
+        });
+        let queues: Vec<Arc<BatchQueue<Pending>>> = (0..cfg.shards)
+            .map(|_| {
+                Arc::new(BatchQueue::new(
+                    cfg.queue_capacity,
+                    cfg.max_batch,
+                    cfg.max_wait,
+                ))
+            })
+            .collect();
+        let workers = (0..cfg.shards)
+            .map(|shard| {
+                let queue = Arc::clone(&queues[shard]);
+                let shared = Arc::clone(&shared);
+                let mut device = cfg.device.clone();
+                // Shard devices are fault-free by design: there is no
+                // replica worker to salvage a shard's in-flight work to.
+                device.fault = FaultPlan::none();
+                let options = cfg.engine_options.clone();
+                std::thread::Builder::new()
+                    .name(format!("shard-worker-{shard}"))
+                    .spawn(move || worker_loop(&queue, &shared, device, options, shard))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self {
+            queues,
+            shared,
+            workers,
+        }
+    }
+
+    /// Submit one request. Routes to the shard owning the seed (first)
+    /// target, then behaves like [`GnnServer::submit`]: immediate
+    /// handle on admission, fail-fast on malformed input, a full shard
+    /// queue, or shutdown.
+    ///
+    /// [`GnnServer::submit`]: crate::server::GnnServer::submit
+    pub fn submit(&self, request: Request) -> Result<ResponseHandle, ServeError> {
+        if request.targets.is_empty() {
+            return Err(ServeError::EmptyRequest);
+        }
+        let n = self.shared.plan.num_vertices() as u32;
+        if let Some(&bad) = request.targets.iter().find(|&&t| t >= n) {
+            return Err(ServeError::InvalidTarget(bad));
+        }
+        let shard = self.shared.plan.route(&request.targets);
+        let trace = TraceContext::new(self.shared.next_trace.fetch_add(1, Ordering::Relaxed) + 1);
+        trace.push("submit", || {
+            format!(
+                "targets={} hops={}",
+                request.targets.len(),
+                request
+                    .hops
+                    .map_or_else(|| "exact".to_string(), |h| h.to_string()),
+            )
+        });
+        // The routing decision lands directly after submit on every
+        // path (including rejects below), the invariant
+        // `TraceChain::validate` holds sharded chains to.
+        trace.push("shard_route", || {
+            format!("shard={shard} seed={}", request.targets[0])
+        });
+        let (tx, rx) = mpsc::channel();
+        let deadline = request.deadline.map(|d| Instant::now() + d);
+        let pending = Pending {
+            request,
+            deadline,
+            trace: trace.clone(),
+            tx,
+        };
+        match self.queues[shard].push(pending) {
+            Ok(depth) => {
+                telemetry::gauge_set(&self.shared.names.shard[shard].load, depth as f64);
+                trace.push("enqueue", || format!("depth={depth}"));
+                Ok(ResponseHandle::new(
+                    rx,
+                    Arc::clone(&self.shared.shutting_down),
+                ))
+            }
+            Err(PushError::Full(_)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add(&self.shared.names.rejected, 1);
+                trace.finish("reject", || "overloaded (queue_full)".to_string());
+                self.shared.slo_error(shard);
+                Err(ServeError::Overloaded)
+            }
+            Err(PushError::ShutDown(_)) => {
+                // Administrative refusal: close the chain, burn no
+                // error budget.
+                trace.finish("reject", || "shutting_down".to_string());
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// The shard plan (vertex→shard directory and replication set).
+    pub fn plan(&self) -> &ShardPlan {
+        &self.shared.plan
+    }
+
+    /// The exact extraction depth used when a request doesn't override
+    /// `hops`.
+    pub fn exact_hops(&self) -> usize {
+        self.shared.exact_hops
+    }
+
+    /// Resident bytes of the largest shard store — the figure a device
+    /// memory budget must cover.
+    pub fn max_store_bytes(&self) -> u64 {
+        self.shared
+            .stores
+            .iter()
+            .map(ShardStore::bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Requests currently queued on `shard`.
+    pub fn queue_depth(&self, shard: usize) -> usize {
+        self.queues[shard].len()
+    }
+
+    /// Evaluate the global SLO against the current completion window.
+    pub fn slo_report(&self) -> SloReport {
+        self.shared.slo.report()
+    }
+
+    /// Evaluate shard `i`'s SLO.
+    pub fn shard_slo_report(&self, i: usize) -> SloReport {
+        self.shared.shard_slos[i].report()
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ShardedStats {
+        let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+        for c in &self.shared.caches {
+            let c = c.lock().unwrap_or_else(|p| p.into_inner());
+            cache_hits += c.hits();
+            cache_misses += c.misses();
+        }
+        ShardedStats {
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            computed_targets: self.shared.computed_targets.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            deadline_exceeded: self.shared.deadline_exceeded.load(Ordering::Relaxed),
+            device_faults: self.shared.device_faults.load(Ordering::Relaxed),
+            per_shard_completed: self
+                .shared
+                .per_shard_completed
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            halo: *self.shared.halo.lock().unwrap_or_else(|p| p.into_inner()),
+        }
+    }
+
+    /// Stop accepting requests, serve everything queued, join the
+    /// workers, and return the final counters.
+    pub fn shutdown(mut self) -> ShardedStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        for q in &self.queues {
+            q.shutdown();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        for q in &self.queues {
+            for (p, _) in q.drain_remaining() {
+                p.trace.finish("error", || "shutting_down".to_string());
+                let _ = p.tx.send(Err(ServeError::ShuttingDown));
+            }
+        }
+    }
+}
+
+impl Drop for ShardedServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn worker_loop(
+    queue: &BatchQueue<Pending>,
+    shared: &Shared,
+    device: DeviceConfig,
+    options: EngineOptions,
+    shard: usize,
+) {
+    let mut engine = TlpgnnEngine::new(device, options);
+    while let Some(batch) = queue.pop_batch() {
+        telemetry::gauge_set(&shared.names.shard[shard].load, queue.len() as f64);
+        let batch = shed_expired(shared, shard, batch);
+        if batch.is_empty() {
+            continue;
+        }
+        process_batch(&mut engine, shared, shard, batch);
+    }
+}
+
+/// Respond `DeadlineExceeded` to every request already past its
+/// deadline and return the rest.
+fn shed_expired(shared: &Shared, shard: usize, batch: Batch) -> Batch {
+    let now = Instant::now();
+    let (live, expired): (Batch, Batch) = batch
+        .into_iter()
+        .partition(|(p, _)| p.deadline.is_none_or(|d| now < d));
+    for (p, _) in expired {
+        shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add(&shared.names.deadline_exceeded, 1);
+        p.trace.push("shed", || "deadline passed".to_string());
+        p.trace.finish("error", || "deadline_exceeded".to_string());
+        shared.slo_error(shard);
+        let _ = p.tx.send(Err(ServeError::DeadlineExceeded));
+    }
+    live
+}
+
+fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, shard: usize, batch: Batch) {
+    let _span = telemetry::span!("shard.process_batch", requests = batch.len());
+    let picked_up = Instant::now();
+    let m = &shared.names;
+    let classes = shared.net.out_dim();
+    for (p, _) in &batch {
+        p.trace.push("pickup", || format!("batch={}", batch.len()));
+    }
+
+    // Unique targets across the batch, first-occurrence order: the
+    // coalescing step — overlapping ego-graphs extract once.
+    let mut uniq: Vec<u32> = Vec::new();
+    let mut seen: HashMap<u32, ()> = HashMap::new();
+    for (p, _) in &batch {
+        for &t in &p.request.targets {
+            if seen.insert(t, ()).is_none() {
+                uniq.push(t);
+            }
+        }
+    }
+    let hops = batch
+        .iter()
+        .map(|(p, _)| p.request.hops.unwrap_or(shared.exact_hops))
+        .max()
+        .unwrap_or(shared.exact_hops);
+
+    // Cache pass against this shard's cache.
+    let mut rows: HashMap<u32, Vec<f32>> = HashMap::with_capacity(uniq.len());
+    let mut miss_targets: Vec<u32> = Vec::new();
+    {
+        let mut cache = shared.caches[shard]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let hits_before = cache.hits();
+        for &t in &uniq {
+            let key = CacheKey {
+                vertex: t,
+                layer: shared.final_layer,
+                hops: hops as u16,
+                version: shared.model_version,
+                shard: shard as u16,
+            };
+            match cache.get(key) {
+                Some(row) => {
+                    rows.insert(t, row.to_vec());
+                }
+                None => miss_targets.push(t),
+            }
+        }
+        telemetry::counter_add(&m.cache_hits, cache.hits() - hits_before);
+        telemetry::counter_add(&m.cache_misses, miss_targets.len() as u64);
+        telemetry::gauge_set(&m.cache_hit_rate, cache.hit_rate());
+    }
+    for (p, _) in &batch {
+        p.trace.push("cache", || {
+            let hits = p
+                .request
+                .targets
+                .iter()
+                .filter(|t| rows.contains_key(t))
+                .count();
+            format!("hits={hits} miss={}", p.request.targets.len() - hits)
+        });
+    }
+
+    // One distributed extraction + one forward pass for the union of
+    // the batch's misses.
+    let mut extract_ms = 0.0;
+    let mut halo_ms = 0.0;
+    let mut compute_ms = 0.0;
+    if !miss_targets.is_empty() {
+        let t0 = Instant::now();
+        let (ego, sub_feats, halo) = {
+            let _span = telemetry::span!("shard.extract", misses = miss_targets.len(), hops = hops);
+            distributed_ego(&shared.plan, &shared.stores, shard, &miss_targets, hops)
+        };
+        extract_ms = ms(t0.elapsed());
+        telemetry::observe(&m.extraction_ms, extract_ms);
+        // Charge the modelled interconnect time for the batched halo
+        // transfers to this batch's latency (the simulator prices, it
+        // does not sleep).
+        halo_ms = shared
+            .interconnect
+            .batched_transfer_ms(halo.fetch_batches, halo.fetched_bytes);
+        telemetry::observe(&m.halo_ms, halo_ms);
+        telemetry::counter_add(&m.halo_fetch_batches, halo.fetch_batches);
+        telemetry::counter_add(&m.halo_fetched_rows, halo.fetched_rows);
+        telemetry::counter_add(&m.halo_fetched_features, halo.fetched_features);
+        telemetry::counter_add(&m.halo_fetched_bytes, halo.fetched_bytes);
+        telemetry::counter_add(&m.halo_replica_hits, halo.replica_hits);
+        telemetry::counter_add(&m.halo_local_hits, halo.local_hits);
+        shared
+            .halo
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .accumulate(&halo);
+        for (p, _) in &batch {
+            p.trace.push("halo_fetch", || {
+                format!(
+                    "batches={} rows={} features={} bytes={}",
+                    halo.fetch_batches,
+                    halo.fetched_rows,
+                    halo.fetched_features,
+                    halo.fetched_bytes
+                )
+            });
+        }
+
+        let t1 = Instant::now();
+        let out = {
+            let _span = telemetry::span!("shard.compute", vertices = ego.vertices.len());
+            engine.try_classify_forward(&shared.net, &ego.csr, &sub_feats)
+        };
+        compute_ms = ms(t1.elapsed());
+        telemetry::observe(&m.compute_ms, compute_ms);
+        match out {
+            Ok((out, _profile)) => {
+                let mut cache = shared.caches[shard]
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                for (local, &orig) in ego.targets().iter().enumerate() {
+                    let row = out.row(local).to_vec();
+                    cache.insert(
+                        CacheKey {
+                            vertex: orig,
+                            layer: shared.final_layer,
+                            hops: hops as u16,
+                            version: shared.model_version,
+                            shard: shard as u16,
+                        },
+                        row.clone(),
+                    );
+                    rows.insert(orig, row);
+                }
+                shared
+                    .computed_targets
+                    .fetch_add(miss_targets.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Unreachable with FaultPlan::none(); kept so a future
+                // fault-injection hook fails requests terminally rather
+                // than panicking the worker.
+            }
+        }
+    }
+
+    telemetry::observe(&m.batch_size, batch.len() as f64);
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+
+    let miss_set: HashSet<u32> = miss_targets.iter().copied().collect();
+    for (p, enqueued) in batch.iter() {
+        let targets = &p.request.targets;
+        if targets.iter().any(|t| !rows.contains_key(t)) {
+            shared.device_faults.fetch_add(1, Ordering::Relaxed);
+            p.trace
+                .finish("error", || "device_fault (shard engine)".to_string());
+            shared.slo_error(shard);
+            let _ = p.tx.send(Err(ServeError::DeviceFault));
+            continue;
+        }
+        let mut data = Vec::with_capacity(targets.len() * classes);
+        let mut cache_hits = 0usize;
+        for &t in targets {
+            let row = &rows[&t];
+            if !miss_set.contains(&t) {
+                cache_hits += 1;
+            }
+            data.extend_from_slice(row);
+        }
+        let queue_ms = ms(picked_up.duration_since(*enqueued));
+        telemetry::observe(&m.queue_ms, queue_ms);
+        let timing = RequestTiming {
+            queue_ms,
+            // Halo transfer time is part of getting the subgraph onto
+            // the device, so it reports under extraction.
+            extract_ms: extract_ms + halo_ms,
+            compute_ms,
+            batch_size: batch.len(),
+            cache_hits,
+        };
+        let outputs = Matrix::from_vec(targets.len(), classes, data);
+        let e2e = ms(enqueued.elapsed()) + halo_ms;
+        telemetry::observe(&m.e2e_latency_ms, e2e);
+        telemetry::observe(&m.shard[shard].e2e_latency_ms, e2e);
+        telemetry::counter_add(&m.completed, 1);
+        telemetry::counter_add(&m.shard[shard].completed, 1);
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        shared.per_shard_completed[shard].fetch_add(1, Ordering::Relaxed);
+        let trace = p.trace.finish("response", || "ok".to_string());
+        shared.slo_ok(shard, e2e);
+        let _ = p.tx.send(Ok(Response {
+            outputs,
+            timing,
+            degraded: Degradation::default(),
+            trace,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{GnnServer, ServeConfig};
+    use tlpgnn::GnnModel;
+    use tlpgnn_graph::generators;
+
+    fn fixture() -> (Csr, Matrix, GnnNetwork) {
+        let g = generators::rmat_default(300, 2000, 7);
+        let x = Matrix::random(300, 8, 1.0, 9);
+        let net = GnnNetwork::two_layer(|_| GnnModel::Gin { eps: 0.1 }, 8, 8, 4, 3);
+        (g, x, net)
+    }
+
+    fn sharded_config(shards: usize) -> ShardedConfig {
+        ShardedConfig {
+            shards,
+            replicate_hot: 8,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            metrics_prefix: "shard.test".to_string(),
+            ..ShardedConfig::default()
+        }
+    }
+
+    fn oracle() -> GnnServer {
+        let (g, x, net) = fixture();
+        GnnServer::start(
+            ServeConfig {
+                workers: 1,
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                metrics_prefix: "shard.test.oracle".to_string(),
+                ..ServeConfig::default()
+            },
+            g,
+            x,
+            net,
+        )
+    }
+
+    /// Sequential single-target submissions keep batch composition
+    /// identical on both sides, so responses must be bitwise equal.
+    #[test]
+    fn bitwise_equal_to_single_device_oracle() {
+        let (g, x, net) = fixture();
+        let sharded = ShardedServer::start(sharded_config(4), g, x, net);
+        let single = oracle();
+        for t in [0u32, 17, 123, 255, 299, 42] {
+            let a = sharded
+                .submit(Request::new(vec![t]))
+                .unwrap()
+                .wait()
+                .unwrap();
+            let b = single
+                .submit(Request::new(vec![t]))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(
+                a.outputs.data(),
+                b.outputs.data(),
+                "sharded response for {t} diverged from the oracle"
+            );
+        }
+        let stats = sharded.shutdown();
+        assert_eq!(stats.completed, 6);
+        assert!(
+            stats.halo.remote_lookups() > 0,
+            "a 4-way split of rmat must cross shards"
+        );
+    }
+
+    #[test]
+    fn multi_target_cross_shard_request_matches_oracle() {
+        let (g, x, net) = fixture();
+        let sharded = ShardedServer::start(sharded_config(4), g, x, net);
+        let single = oracle();
+        // Targets owned by different shards, served by the seed's.
+        let targets = vec![0u32, 299, 150];
+        let a = sharded
+            .submit(Request::new(targets.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let b = single
+            .submit(Request::new(targets))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(a.outputs.shape(), (3, 4));
+        assert_eq!(a.outputs.data(), b.outputs.data());
+    }
+
+    #[test]
+    fn single_shard_is_invisible() {
+        let (g, x, net) = fixture();
+        let sharded = ShardedServer::start(sharded_config(1), g, x, net);
+        let single = oracle();
+        for t in [3u32, 200] {
+            let a = sharded
+                .submit(Request::new(vec![t]))
+                .unwrap()
+                .wait()
+                .unwrap();
+            let b = single
+                .submit(Request::new(vec![t]))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(a.outputs.data(), b.outputs.data());
+        }
+        let stats = sharded.shutdown();
+        assert_eq!(stats.halo.fetch_batches, 0, "one shard fetches nothing");
+        assert_eq!(stats.halo.fetched_bytes, 0);
+    }
+
+    #[test]
+    fn requests_route_to_the_seed_owner() {
+        let (g, x, net) = fixture();
+        let sharded = ShardedServer::start(sharded_config(3), g, x, net);
+        let mut want = vec![0u64; 3];
+        for t in [0u32, 10, 140, 160, 298, 299] {
+            want[sharded.plan().owner_of(t)] += 1;
+            sharded
+                .submit(Request::new(vec![t]))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let stats = sharded.shutdown();
+        assert_eq!(stats.per_shard_completed, want);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_shard_cache() {
+        let (g, x, net) = fixture();
+        let sharded = ShardedServer::start(sharded_config(4), g, x, net);
+        let a = sharded
+            .submit(Request::new(vec![7]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let b = sharded
+            .submit(Request::new(vec![7]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(a.outputs.row(0), b.outputs.row(0));
+        assert_eq!(b.timing.cache_hits, 1);
+        let stats = sharded.shutdown();
+        assert_eq!(stats.computed_targets, 1, "vertex computed only once");
+        assert!(stats.cache_hits >= 1);
+    }
+
+    #[test]
+    fn validates_before_routing() {
+        let (g, x, net) = fixture();
+        let sharded = ShardedServer::start(sharded_config(2), g, x, net);
+        assert_eq!(
+            sharded.submit(Request::new(vec![])).unwrap_err(),
+            ServeError::EmptyRequest
+        );
+        assert_eq!(
+            sharded.submit(Request::new(vec![10_000])).unwrap_err(),
+            ServeError::InvalidTarget(10_000)
+        );
+        assert_eq!(sharded.stats().completed, 0);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed() {
+        let (g, x, net) = fixture();
+        let sharded = ShardedServer::start(sharded_config(2), g, x, net);
+        let h = sharded
+            .submit(Request::new(vec![1]).with_deadline(Duration::ZERO))
+            .unwrap();
+        assert_eq!(h.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        let stats = sharded.shutdown();
+        assert_eq!(stats.deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_reports_shutting_down() {
+        let (g, x, net) = fixture();
+        let sharded = ShardedServer::start(sharded_config(2), g, x, net);
+        for q in &sharded.queues {
+            q.shutdown();
+        }
+        assert_eq!(
+            sharded.submit(Request::new(vec![1])).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn slo_tracks_per_shard_completions() {
+        let (g, x, net) = fixture();
+        let sharded = ShardedServer::start(sharded_config(2), g, x, net);
+        for t in [0u32, 299, 1, 298] {
+            sharded
+                .submit(Request::new(vec![t]))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let global = sharded.slo_report();
+        assert_eq!(global.window_len, 4);
+        let per_shard: usize = (0..2).map(|i| sharded.shard_slo_report(i).window_len).sum();
+        assert_eq!(per_shard, 4, "every completion lands in one shard's SLO");
+    }
+
+    #[test]
+    fn budget_guard_accepts_fitting_stores() {
+        let (g, x, net) = fixture();
+        let mut cfg = sharded_config(4);
+        cfg.device_budget_bytes = Some(u64::MAX);
+        let sharded = ShardedServer::start(cfg, g, x, net);
+        assert!(sharded.max_store_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "device budget")]
+    fn budget_guard_rejects_oversized_stores() {
+        let (g, x, net) = fixture();
+        let mut cfg = sharded_config(2);
+        cfg.device_budget_bytes = Some(16);
+        let _ = ShardedServer::start(cfg, g, x, net);
+    }
+
+    #[test]
+    fn hops_override_is_honored() {
+        let (g, x, net) = fixture();
+        let sharded = ShardedServer::start(sharded_config(3), g, x, net);
+        let r = sharded
+            .submit(Request::with_hops(vec![5], 1))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r.outputs.shape(), (1, 4));
+        let stats = sharded.shutdown();
+        assert_eq!(stats.completed, 1);
+    }
+}

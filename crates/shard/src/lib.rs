@@ -1,0 +1,34 @@
+//! Graph sharding for multi-device serving.
+//!
+//! The serve tier's original design holds the whole graph and feature
+//! matrix on every worker, so the largest servable graph is the largest
+//! one device holds. This crate removes that ceiling by partitioning the
+//! graph across N simulated devices:
+//!
+//! * [`ShardPlan`] wraps the graph crate's `edge_balanced_partition`
+//!   into a vertex→shard directory plus a replication set of hot
+//!   (high-degree) vertices mirrored on every shard — the vertices most
+//!   likely to sit on many ego-graph frontiers.
+//! * [`ShardStore`] is one device's slice of the graph: the adjacency
+//!   rows and feature rows of its owned vertex range, plus replica
+//!   copies of the hot set. [`ShardStore::bytes`] is the footprint a
+//!   device memory budget is checked against.
+//! * [`distributed_ego`] extracts a k-hop ego graph while reading rows
+//!   only through the stores, batching cross-shard "halo" fetches per
+//!   BFS level and per remote shard, and accounting every fetch in
+//!   [`HaloStats`]. Its output is bitwise identical to the
+//!   single-device `ego_graph` on the unpartitioned graph.
+//!
+//! The serve tier (`tlpgnn-serve::sharded`) builds a router on top:
+//! requests route to the shard owning their seed vertex, and each
+//! shard's worker extracts through this crate.
+
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod plan;
+pub mod store;
+
+pub use extract::{distributed_ego, HaloStats};
+pub use plan::ShardPlan;
+pub use store::{graph_bytes, ShardStore};

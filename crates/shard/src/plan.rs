@@ -1,0 +1,193 @@
+//! The shard plan: who owns which vertices, and which hot vertices are
+//! replicated everywhere.
+
+use tlpgnn_graph::partition::{edge_balanced_partition, VertexPartition};
+use tlpgnn_graph::Csr;
+
+/// A partition of the vertex set across `shards` devices, plus a
+/// replication set of hot vertices mirrored on every shard.
+///
+/// Ownership is a contiguous-range split with approximately balanced
+/// edge counts (the graph crate's `edge_balanced_partition`, the
+/// paper's lightweight stand-in for METIS). Replication targets the
+/// highest-degree vertices: under power-law degree distributions they
+/// appear on a disproportionate share of ego-graph frontiers, so
+/// mirroring their rows converts the most frequent remote fetches into
+/// local reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    partition: VertexPartition,
+    num_vertices: usize,
+    /// Sorted original ids of the replicated hot set.
+    replicated: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Build a plan for `g` over `shards` devices, replicating the
+    /// `replicate_hot` highest-degree vertices (ties broken by lower
+    /// id) on every shard.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn build(g: &Csr, shards: usize, replicate_hot: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let partition = edge_balanced_partition(g, shards);
+        let n = g.num_vertices();
+        let k = replicate_hot.min(n);
+        let mut by_degree: Vec<u32> = (0..n as u32).collect();
+        by_degree.sort_unstable_by(|&a, &b| {
+            g.degree(b as usize)
+                .cmp(&g.degree(a as usize))
+                .then(a.cmp(&b))
+        });
+        let mut replicated = by_degree[..k].to_vec();
+        replicated.sort_unstable();
+        Self {
+            partition,
+            num_vertices: n,
+            replicated,
+        }
+    }
+
+    /// Number of shards (devices).
+    pub fn shards(&self) -> usize {
+        self.partition.parts()
+    }
+
+    /// Number of vertices the plan covers.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The underlying contiguous-range partition.
+    pub fn partition(&self) -> &VertexPartition {
+        &self.partition
+    }
+
+    /// Vertex range owned by shard `p`.
+    pub fn owned_range(&self, p: usize) -> std::ops::Range<usize> {
+        self.partition.range(p)
+    }
+
+    /// The unique shard owning vertex `v` (the vertex→shard directory).
+    pub fn owner_of(&self, v: u32) -> usize {
+        debug_assert!((v as usize) < self.num_vertices);
+        self.partition.part_of(v)
+    }
+
+    /// Sorted ids of the replicated hot set.
+    pub fn replicated(&self) -> &[u32] {
+        &self.replicated
+    }
+
+    /// Whether vertex `v` is mirrored on every shard.
+    pub fn is_replicated(&self, v: u32) -> bool {
+        self.replicated.binary_search(&v).is_ok()
+    }
+
+    /// Route a request to the shard owning its seed (first) target.
+    ///
+    /// # Panics
+    /// Panics on an empty target list — admission rejects those first.
+    pub fn route(&self, targets: &[u32]) -> usize {
+        assert!(!targets.is_empty(), "cannot route an empty request");
+        self.owner_of(targets[0])
+    }
+
+    /// Check the plan's structural invariants: the partition covers
+    /// `[0, num_vertices)` with monotone bounds, every vertex's owner
+    /// range actually contains it, and the replication set is strictly
+    /// sorted and in range. Returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        self.partition.validate()?;
+        if self.partition.num_vertices() != self.num_vertices {
+            return Err(format!(
+                "partition covers {} vertices, plan says {}",
+                self.partition.num_vertices(),
+                self.num_vertices
+            ));
+        }
+        for p in 0..self.shards() {
+            for v in self.owned_range(p) {
+                if self.owner_of(v as u32) != p {
+                    return Err(format!(
+                        "vertex {v} is in shard {p}'s range but owner_of says {}",
+                        self.owner_of(v as u32)
+                    ));
+                }
+            }
+        }
+        for w in self.replicated.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!(
+                    "replication set not strictly sorted at {} >= {}",
+                    w[0], w[1]
+                ));
+            }
+        }
+        if let Some(&last) = self.replicated.last() {
+            if last as usize >= self.num_vertices {
+                return Err(format!("replicated vertex {last} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlpgnn_graph::generators;
+
+    #[test]
+    fn every_vertex_has_exactly_one_owner() {
+        let g = generators::rmat_default(500, 4000, 11);
+        let plan = ShardPlan::build(&g, 4, 16);
+        plan.validate().unwrap();
+        let mut owned = vec![0usize; g.num_vertices()];
+        for p in 0..plan.shards() {
+            for v in plan.owned_range(p) {
+                owned[v] += 1;
+            }
+        }
+        assert!(owned.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn hot_set_is_the_top_degrees() {
+        // Star graph: the hub has in-degree n-1, leaves have 0.
+        let g = generators::star(50);
+        let plan = ShardPlan::build(&g, 4, 1);
+        assert_eq!(plan.replicated(), &[0], "the hub must be replicated");
+        assert!(plan.is_replicated(0));
+        assert!(!plan.is_replicated(1));
+    }
+
+    #[test]
+    fn route_follows_seed_ownership() {
+        let g = generators::rmat_default(300, 2400, 7);
+        let plan = ShardPlan::build(&g, 3, 0);
+        for v in [0u32, 50, 299] {
+            assert_eq!(plan.route(&[v, 1, 2]), plan.owner_of(v));
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let g = generators::erdos_renyi(100, 700, 3);
+        let plan = ShardPlan::build(&g, 1, 8);
+        plan.validate().unwrap();
+        assert_eq!(plan.shards(), 1);
+        for v in 0..100u32 {
+            assert_eq!(plan.owner_of(v), 0);
+        }
+    }
+
+    #[test]
+    fn replication_caps_at_vertex_count() {
+        let g = generators::path(5);
+        let plan = ShardPlan::build(&g, 2, 100);
+        plan.validate().unwrap();
+        assert_eq!(plan.replicated().len(), 5);
+    }
+}

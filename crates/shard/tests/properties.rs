@@ -1,0 +1,101 @@
+//! Property-based conformance tests for the shard subsystem: plan
+//! invariants, replica consistency, and bitwise equality of the
+//! distributed extraction against the single-device oracle.
+
+use proptest::prelude::*;
+use tlpgnn_graph::subgraph::ego_graph;
+use tlpgnn_graph::{Csr, GraphBuilder};
+use tlpgnn_shard::{distributed_ego, ShardPlan, ShardStore};
+use tlpgnn_tensor::Matrix;
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |e| (n, e))
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    b.extend(edges.iter().copied());
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every vertex is owned by exactly one shard, and the plan's
+    /// directory agrees with the ranges.
+    #[test]
+    fn ownership_is_a_partition(
+        (n, edges) in arb_edges(80, 300),
+        shards in 1usize..=5,
+        replicate in 0usize..=8,
+    ) {
+        let g = build(n, &edges);
+        let plan = ShardPlan::build(&g, shards, replicate);
+        prop_assert!(plan.validate().is_ok());
+        let mut owned = vec![0usize; n];
+        for p in 0..plan.shards() {
+            for v in plan.owned_range(p) {
+                owned[v] += 1;
+                prop_assert_eq!(plan.owner_of(v as u32), p);
+            }
+        }
+        prop_assert!(owned.iter().all(|&c| c == 1));
+    }
+
+    /// Replicas on every non-owning shard are bitwise copies of the
+    /// owner's adjacency and feature rows.
+    #[test]
+    fn replicas_consistent_with_owner(
+        (n, edges) in arb_edges(60, 250),
+        shards in 1usize..=4,
+        replicate in 1usize..=10,
+    ) {
+        let g = build(n, &edges);
+        let x = Matrix::random(n, 3, 1.0, 11);
+        let plan = ShardPlan::build(&g, shards, replicate);
+        let stores = ShardStore::build_all(&g, &x, &plan);
+        for &v in plan.replicated() {
+            let owner = &stores[plan.owner_of(v)];
+            for s in &stores {
+                prop_assert!(s.hosts(v));
+                prop_assert_eq!(s.row(v), owner.row(v));
+                prop_assert_eq!(s.feature_row(v), owner.feature_row(v));
+            }
+        }
+    }
+
+    /// Distributed extraction with halo exchange is bitwise equal to
+    /// the single-device `ego_graph` plus feature gather, from any
+    /// home shard.
+    #[test]
+    fn distributed_extraction_matches_oracle_bitwise(
+        (n, edges) in arb_edges(60, 250),
+        shards in 1usize..=4,
+        replicate in 0usize..=6,
+        raw_targets in proptest::collection::vec(0u32..1000, 1..5),
+        hops in 0usize..=3,
+    ) {
+        let g = build(n, &edges);
+        let x = Matrix::random(n, 4, 1.0, 13);
+        let plan = ShardPlan::build(&g, shards, replicate);
+        let stores = ShardStore::build_all(&g, &x, &plan);
+        let targets: Vec<u32> = raw_targets.iter().map(|&t| t % n as u32).collect();
+        let want = ego_graph(&g, &targets, hops);
+        let home = plan.route(&targets);
+        let (ego, feats, stats) = distributed_ego(&plan, &stores, home, &targets, hops);
+        prop_assert_eq!(&ego.vertices, &want.vertices);
+        prop_assert_eq!(&ego.hop, &want.hop);
+        prop_assert_eq!(ego.num_targets, want.num_targets);
+        prop_assert_eq!(ego.csr.indptr(), want.csr.indptr());
+        prop_assert_eq!(ego.csr.indices(), want.csr.indices());
+        for (i, &v) in ego.vertices.iter().enumerate() {
+            prop_assert_eq!(feats.row(i), x.row(v as usize));
+        }
+        if plan.shards() == 1 {
+            prop_assert_eq!(stats.fetch_batches, 0);
+            prop_assert_eq!(stats.fetched_bytes, 0);
+        }
+    }
+}

@@ -91,6 +91,11 @@ impl TraceChain {
     /// * `seq` is dense and monotonically ordered from 0
     /// * exactly one terminal event, and it is last
     /// * `salvage` appears at most once (PR 5's exactly-once requeue)
+    /// * `shard_route` appears at most once and, when present, directly
+    ///   after `submit` — routing is decided once, at admission, before
+    ///   any queueing or compute
+    /// * `halo_fetch` only appears in a routed chain: cross-shard
+    ///   traffic with no routing decision on record is unexplained
     pub fn validate(&self) -> Result<(), String> {
         if self.events.is_empty() {
             return Err(format!("trace {}: empty chain", self.id));
@@ -134,6 +139,32 @@ impl TraceChain {
         if salvages > 1 {
             return Err(format!(
                 "trace {}: salvaged {salvages} times (exactly-once requeue violated): {}",
+                self.id,
+                self.canonical()
+            ));
+        }
+        let routes = self
+            .events
+            .iter()
+            .filter(|e| e.kind == "shard_route")
+            .count();
+        if routes > 1 {
+            return Err(format!(
+                "trace {}: routed {routes} times (routing is decided once): {}",
+                self.id,
+                self.canonical()
+            ));
+        }
+        if routes == 1 && self.events[1].kind != "shard_route" {
+            return Err(format!(
+                "trace {}: shard_route is not directly after submit: {}",
+                self.id,
+                self.canonical()
+            ));
+        }
+        if routes == 0 && self.events.iter().any(|e| e.kind == "halo_fetch") {
+            return Err(format!(
+                "trace {}: halo_fetch without a shard_route decision: {}",
                 self.id,
                 self.canonical()
             ));
@@ -306,6 +337,37 @@ mod tests {
         let mut bad_seq = chain(&["submit", "response"]);
         bad_seq.events[1].seq = 5;
         assert!(bad_seq.validate().is_err(), "sparse seq");
+    }
+
+    #[test]
+    fn routing_invariants() {
+        chain(&["submit", "shard_route", "enqueue", "pickup", "response"])
+            .validate()
+            .unwrap();
+        chain(&["submit", "shard_route", "pickup", "halo_fetch", "response"])
+            .validate()
+            .unwrap();
+        chain(&["submit", "shard_route", "reject"])
+            .validate()
+            .unwrap();
+        assert!(
+            chain(&["submit", "enqueue", "shard_route", "response"])
+                .validate()
+                .is_err(),
+            "route after enqueue"
+        );
+        assert!(
+            chain(&["submit", "shard_route", "shard_route", "response"])
+                .validate()
+                .is_err(),
+            "double route"
+        );
+        assert!(
+            chain(&["submit", "pickup", "halo_fetch", "response"])
+                .validate()
+                .is_err(),
+            "halo fetch without routing"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ mkdir -p results
 for exp in datasets table1 table2 table3 table5 fig8 fig9 fig10 fig11 fig12 \
            ext_multigpu ext_hetero ablation_tuning ablation_advisor \
            ablation_costmodel ablation_device profile_kernels native_scaling \
-           serve_bench; do
+           serve_bench shard_bench; do
     echo "=== running $exp ==="
     ./target/release/$exp > results/$exp.txt 2>&1
 done
