@@ -51,12 +51,22 @@ mkdir -p results
 
 echo "=== chaos smoke ==="
 # Seeded fault-injection scenarios (transient storm, device loss,
-# straggler, overload+faults, cache poison, sharded serving, clean
-# baseline) against the serving stack. Each runs twice with the same seed
-# and must produce an identical event log; exits non-zero on any SLO
-# violation (a hang, a lost request, an unflagged wrong answer, unbounded
-# requeueing, a misrouted shard request).
+# straggler, overload+faults, cache poison, sharded serving, streaming
+# mutations under load, clean baseline) against the serving stack. Each
+# runs twice with the same seed and must produce an identical event log;
+# exits non-zero on any SLO violation (a hang, a lost request, an
+# unflagged wrong answer — including an unflagged *stale* answer after a
+# mutation — unbounded requeueing, a misrouted shard request).
 ./target/release/chaos_bench --smoke
+
+echo "=== dynamic smoke ==="
+# Streaming-graph mutation layer: delta overlay vs from-scratch-rebuild
+# bitwise oracle, serving throughput + epoch bookkeeping under churn,
+# sampled-extraction split, and compaction invisibility. The epoch layer
+# must be invisible when no mutations are applied: the perf-gate
+# baselines (produced by mutation-free workloads) stay byte-identical.
+./target/release/dynamic_bench --smoke
+echo "${bench_baseline_sha}" | sha256sum --check --quiet -
 
 echo "=== shard smoke ==="
 # Sharded serving of a graph larger than one device's memory budget:

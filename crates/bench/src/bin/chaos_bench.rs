@@ -1,7 +1,7 @@
 //! **chaos_bench** — seeded fault-injection chaos harness for the
 //! serving stack.
 //!
-//! Runs seven scenarios against `tlpgnn-serve`, each driven by a
+//! Runs eight scenarios against `tlpgnn-serve`, each driven by a
 //! deterministic `gpu_sim::FaultPlan` (or the server's chaos hook), and
 //! asserts the service-level invariants the resilience layer exists to
 //! uphold:
@@ -13,7 +13,7 @@
 //!   responses are explicitly flagged.
 //! * **Bounded recovery** — a lost worker is respawned and its in-flight
 //!   batch requeued exactly once, so service resumes within one batch.
-//! * **Determinism** — all seven scenarios run *twice* with the same seed
+//! * **Determinism** — all eight scenarios run *twice* with the same seed
 //!   and must produce identical event logs (fault injection is a pure
 //!   function of `(seed, launch index)`, and racy scenarios log only
 //!   order-independent aggregates).
@@ -24,10 +24,14 @@
 //! (every launch 6× slower, results still exact), `overload_faults`
 //! (concurrent burst + faults + deadlines against a small queue),
 //! `cache_poison` (worker panics holding the cache lock → poison
-//! recovery + exactly-once requeue), and `sharded` (graph partitioned
+//! recovery + exactly-once requeue), `sharded` (graph partitioned
 //! across four simulated devices — answers stay bitwise equal to the
 //! single-device reference and every chain's `shard_route` decision
-//! names the shard that owns its seed vertex).
+//! names the shard that owns its seed vertex), and `dynamic` (streaming
+//! edge/vertex/feature mutations interleaved with queries — every
+//! unflagged answer must be bitwise the fresh ego+engine oracle on the
+//! independently materialized graph at the response's pinned epoch: no
+//! unflagged stale answer, ever).
 //!
 //! Writes `results/chaos_bench.json` (per-scenario verdicts) plus the
 //! standard telemetry exports, and exits non-zero on any SLO violation
@@ -40,11 +44,12 @@ use std::time::{Duration, Instant};
 
 use gpu_sim::FaultPlan;
 use telemetry::TraceChain;
-use tlpgnn::{GnnModel, GnnNetwork};
+use tlpgnn::{EngineOptions, GnnModel, GnnNetwork, TlpgnnEngine};
 use tlpgnn_bench as bench;
-use tlpgnn_graph::{generators, Csr};
+use tlpgnn_graph::{generators, subgraph, Csr};
 use tlpgnn_serve::{
-    GnnServer, Request, RetryPolicy, ServeConfig, ServeError, ShardedConfig, ShardedServer,
+    GnnServer, GraphMutation, Request, RetryPolicy, ServeConfig, ServeError, ShardedConfig,
+    ShardedServer,
 };
 use tlpgnn_tensor::Matrix;
 
@@ -838,6 +843,197 @@ fn sharded(fx: &Fixture, args: &Args) -> ScenarioResult {
     r
 }
 
+/// Scenario 8 — streaming mutations under load. A seeded schedule
+/// interleaves single-target queries with atomic mutation batches
+/// (edge/vertex insertions, feature rewrites) and periodic compactions.
+/// A mirror edge list + feature table — sharing no code with the
+/// server's delta overlay — materializes the graph at every epoch, and
+/// every *unflagged* response must be bitwise the fresh `ego_graph` +
+/// fused-engine oracle for the epoch the response pinned at submission.
+/// One unflagged stale answer fails the SLO gate.
+fn dynamic(fx: &Fixture, args: &Args) -> ScenarioResult {
+    let mut r = ScenarioResult::new("dynamic");
+    let mut cfg = base_config("chaos.dynamic", args, 256);
+    // The ladder is not under test here, and its wall-clock-driven
+    // transitions would perturb the identical-event-log gate.
+    cfg.supervisor.monitor_interval = Duration::from_secs(3600);
+    let oracle_device = cfg.device.clone();
+    let server = fx.server(cfg);
+    let hops = server.exact_hops();
+    let seed = args.seed ^ 0xd1a;
+
+    // Mirror of the server's graph: (dst, src) edge list + membership
+    // set + feature rows + accepted-mutation count.
+    let mut edges: Vec<(u32, u32)> = fx.g.edge_iter().map(|(s, d)| (d, s)).collect();
+    let mut present: std::collections::HashSet<(u32, u32)> = fx.g.edge_iter().collect();
+    let mut feats: Vec<Vec<f32>> = (0..fx.g.num_vertices())
+        .map(|v| fx.x.row(v).to_vec())
+        .collect();
+    let mut n = fx.g.num_vertices();
+    let mut epoch = 0u64;
+    let feat_dim = fx.x.cols();
+    let new_row = |v: usize| -> Vec<f32> {
+        (0..feat_dim)
+            .map(|j| ((splitmix64(seed ^ ((v * feat_dim + j) as u64)) % 1000) as f32) * 1e-3 - 0.5)
+            .collect()
+    };
+
+    let steps = args.requests * 2;
+    let (mut queries, mut stale) = (0u64, 0u64);
+    for i in 0..steps {
+        let roll = splitmix64(seed ^ (i as u64).wrapping_mul(0x9e37));
+        if i % 10 == 5 {
+            server.compact_graph();
+            r.log.push(format!("step={i} compact epoch={epoch}"));
+            continue;
+        }
+        if i % 3 == 2 {
+            // One mutation batch of 1–2 seeded entries.
+            let mut batch = Vec::new();
+            for k in 0..(1 + (roll % 2) as usize) {
+                let d = splitmix64(roll ^ (k as u64 + 1));
+                match d % 4 {
+                    0 | 1 => {
+                        let (src, dst) =
+                            (((d >> 8) % n as u64) as u32, ((d >> 40) % n as u64) as u32);
+                        batch.push(GraphMutation::InsertEdge { src, dst });
+                        if present.insert((src, dst)) {
+                            edges.push((dst, src));
+                            epoch += 1;
+                        }
+                    }
+                    2 => {
+                        let row = new_row(n);
+                        batch.push(GraphMutation::InsertVertex {
+                            features: row.clone(),
+                        });
+                        feats.push(row);
+                        n += 1;
+                        epoch += 1;
+                    }
+                    _ => {
+                        let v = ((d >> 16) % n as u64) as u32;
+                        let row = new_row(v as usize + i);
+                        batch.push(GraphMutation::SetFeatures {
+                            vertex: v,
+                            features: row.clone(),
+                        });
+                        feats[v as usize] = row;
+                        epoch += 1;
+                    }
+                }
+            }
+            let got = server
+                .mutate(&batch)
+                .expect("chaos mutations are well-formed");
+            r.check(
+                got == epoch,
+                format!("step {i}: server epoch {got}, mirror says {epoch}"),
+            );
+            r.log.push(format!(
+                "step={i} mutate entries={} epoch={epoch}",
+                batch.len()
+            ));
+            continue;
+        }
+        // Query a seeded target over the *current* vertex set (appended
+        // vertices included).
+        let t = (roll % n as u64) as u32;
+        queries += 1;
+        let outcome = match server.submit(Request::new(vec![t])) {
+            Ok(h) => h.wait(),
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok(resp) => {
+                r.check(
+                    resp.epoch == epoch,
+                    format!(
+                        "step {i}: response pinned epoch {}, submitted at {epoch}",
+                        resp.epoch
+                    ),
+                );
+                let h = hash_row(resp.outputs.data());
+                if !resp.degraded.any() {
+                    // Fresh ego+engine oracle on the independently
+                    // materialized graph at this epoch.
+                    let g = pack_mirror(n, &edges);
+                    let mut flat = Vec::with_capacity(n * feat_dim);
+                    for row in &feats {
+                        flat.extend_from_slice(row);
+                    }
+                    let x = Matrix::from_vec(n, feat_dim, flat);
+                    let ego = subgraph::ego_graph(&g, &[t], hops);
+                    let mut sub = Matrix::zeros(ego.vertices.len(), feat_dim);
+                    for (local, &orig) in ego.vertices.iter().enumerate() {
+                        sub.row_mut(local).copy_from_slice(x.row(orig as usize));
+                    }
+                    let mut engine =
+                        TlpgnnEngine::new(oracle_device.clone(), EngineOptions::default());
+                    let (out, _) = engine.classify_forward(&fx.net, &ego.csr, &sub);
+                    if h != hash_row(out.row(0)) {
+                        stale += 1;
+                        r.fails.push(format!(
+                            "step {i} target {t} epoch {epoch}: UNFLAGGED STALE ANSWER \
+                             (differs from the materialized-graph oracle)"
+                        ));
+                    }
+                }
+                r.log.push(format!(
+                    "step={i} target={t} outcome=ok hash={h:016x} epoch={} degraded={}",
+                    resp.epoch,
+                    resp.degraded.any()
+                ));
+            }
+            Err(e) => r.log.push(format!("step={i} target={t} outcome=err:{e}")),
+        }
+    }
+    r.requests = queries;
+    let s = server.shutdown();
+    r.check(
+        stale == 0,
+        format!("{stale} unflagged stale answers served"),
+    );
+    r.check(
+        s.mutations == epoch,
+        "accepted mutations must equal the epoch",
+    );
+    r.check(
+        s.epoch == epoch,
+        "final server epoch disagrees with the mirror",
+    );
+    r.check(s.compactions > 0, "the schedule compacts periodically");
+    r.log.push(format!(
+        "queries={queries} mutations={} epoch={} compactions={} evictions={} vertices={n}",
+        s.mutations, s.epoch, s.compactions, s.mutation_evictions
+    ));
+    let chains = r.validate_traces();
+    if telemetry::enabled() {
+        r.check(
+            chains
+                .iter()
+                .all(|c| c.events.iter().any(|e| e.kind == "epoch")),
+            "every dynamic-scenario chain must record its pinned epoch",
+        );
+    }
+    r.log_chains(chains);
+    r
+}
+
+/// Independent CSR packer over the mirror's `(dst, src)` edge list.
+fn pack_mirror(n: usize, edges: &[(u32, u32)]) -> Csr {
+    let mut es = edges.to_vec();
+    es.sort_unstable();
+    let mut indptr = vec![0u32; n + 1];
+    for &(dst, _) in &es {
+        indptr[dst as usize + 1] += 1;
+    }
+    for i in 1..=n {
+        indptr[i] += indptr[i - 1];
+    }
+    Csr::new(n, indptr, es.into_iter().map(|(_, s)| s).collect())
+}
+
 fn run_all(fx: &Fixture, args: &Args) -> Vec<ScenarioResult> {
     vec![
         baseline(fx, args),
@@ -847,6 +1043,7 @@ fn run_all(fx: &Fixture, args: &Args) -> Vec<ScenarioResult> {
         overload_faults(fx, args),
         cache_poison(fx, args),
         sharded(fx, args),
+        dynamic(fx, args),
     ]
 }
 
@@ -912,7 +1109,12 @@ fn main() {
                 .iter()
                 .zip(&b.log)
                 .position(|(x, y)| x != y)
-                .map(|i| format!("first divergence at line {i}"))
+                .map(|i| {
+                    format!(
+                        "first divergence at line {i}\n  A: {}\n  B: {}",
+                        a.log[i], b.log[i]
+                    )
+                })
                 .unwrap_or_else(|| {
                     format!("log lengths differ ({} vs {})", a.log.len(), b.log.len())
                 });

@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use tlpgnn_graph::generators;
+use tlpgnn_graph::{generators, Csr, DeltaGraph};
 
 use crate::backends::Backend;
 use crate::case::{ModelSpec, TestCase};
@@ -38,12 +38,13 @@ pub fn sample_case(seed: u64, i: usize) -> TestCase {
         .to_string();
     let n = rng.random_range(2usize..=48);
     let gseed = rng.random_range(0u64..=u64::MAX / 2);
-    let graph = match rng.random_range(0u32..5) {
+    let graph = match rng.random_range(0u32..6) {
         0 => generators::erdos_renyi(n, rng.random_range(0..=4 * n), gseed),
         1 => generators::rmat_default(n, rng.random_range(0..=4 * n), gseed),
         2 => generators::star(n),
         3 => generators::path(n),
-        _ => generators::complete(n.min(24)),
+        4 => generators::complete(n.min(24)),
+        _ => mutated_graph(&mut rng, n, gseed),
     };
     let model = match rng.random_range(0u32..3) {
         0 => ModelSpec::Gcn,
@@ -64,6 +65,36 @@ pub fn sample_case(seed: u64, i: usize) -> TestCase {
         sms,
         failure: None,
     }
+}
+
+/// A *post-compaction* dynamic graph: a generated base plus a seeded
+/// schedule of edge/vertex insertions folded back into CSR form. Every
+/// backend thereby also fuzzes against graphs the streaming-mutation
+/// layer produced, and each sample doubles as a compaction check (the
+/// compacted base must be bitwise the from-scratch rebuild).
+fn mutated_graph(rng: &mut StdRng, n: usize, gseed: u64) -> Csr {
+    let base = generators::erdos_renyi(n, rng.random_range(0..=3 * n), gseed);
+    let mut dg = DeltaGraph::new(base);
+    for _ in 0..rng.random_range(1..=2 * n) {
+        let nv = dg.num_vertices() as u32;
+        match rng.random_range(0u32..4) {
+            0..=2 => {
+                let (src, dst) = (rng.random_range(0..nv), rng.random_range(0..nv));
+                dg.insert_edge(src, dst);
+            }
+            _ => {
+                dg.insert_vertex(Vec::new());
+            }
+        }
+    }
+    let oracle = dg.materialize();
+    dg.compact();
+    assert_eq!(
+        dg.base(),
+        &oracle,
+        "compaction must be bitwise the from-scratch rebuild"
+    );
+    dg.base().clone()
 }
 
 /// Run `iters` seeded iterations, shrinking every failure. `progress` is

@@ -18,6 +18,9 @@
 //!   the laws documented on [`gpu_sim::Accounting`] (sectors ≥ requests,
 //!   cache ways partition sectors, per-SM schedule sums match kernel
 //!   totals).
+//! * **Sampled extraction** — the serving tier's seeded fanout-capped
+//!   neighbor sampler is same-seed deterministic, and its draw is a
+//!   capped sub-multiset of the exact ego graph.
 
 use gpu_sim::KernelProfile;
 use rand::rngs::StdRng;
@@ -136,6 +139,67 @@ pub fn check_case(case: &TestCase, tol: &Tolerance) -> Result<(), String> {
         check_accounting(profile).map_err(|e| format!("accounting: {e}"))?;
     }
 
+    // Sampled extraction (graph-level, backend-independent): the seeded
+    // sampler behind the serving tier's `Sampled` degradation rung.
+    check_sampled_extraction(&g, case.feature_seed).map_err(|e| format!("sampled: {e}"))?;
+
+    Ok(())
+}
+
+/// Same-seed determinism and capped-subset invariants of
+/// `subgraph::sampled_ego_graph`, for a handful of targets on `g`.
+pub fn check_sampled_extraction(g: &tlpgnn_graph::Csr, seed: u64) -> Result<(), String> {
+    use tlpgnn_graph::subgraph;
+    let n = g.num_vertices();
+    if n == 0 {
+        return Ok(());
+    }
+    let targets: Vec<u32> = (0..n as u32).step_by(1 + n / 4).collect();
+    let (hops, fanout) = (2usize, 3usize);
+    let a = subgraph::sampled_ego_graph(g, &targets, hops, fanout, seed);
+    let b = subgraph::sampled_ego_graph(g, &targets, hops, fanout, seed);
+    if a.vertices != b.vertices || a.csr != b.csr {
+        return Err("same-seed draws diverged".to_string());
+    }
+    // A different seed is allowed to differ; it must still satisfy the
+    // structural invariants below.
+    for s in [
+        a,
+        subgraph::sampled_ego_graph(g, &targets, hops, fanout, seed ^ 0xdead_beef),
+    ] {
+        let exact = subgraph::ego_graph(g, &targets, hops);
+        for &v in &s.vertices {
+            if !exact.vertices.contains(&v) {
+                return Err(format!("sampled vertex {v} outside the exact ego graph"));
+            }
+        }
+        for (local, &orig) in s.vertices.iter().enumerate() {
+            let row = s.csr.neighbors(local);
+            if row.len() > fanout {
+                return Err(format!(
+                    "vertex {orig}: sampled row has {} entries, fanout cap is {fanout}",
+                    row.len()
+                ));
+            }
+            // Every sampled in-neighbor is a sub-multiset of the full row.
+            let full = g.neighbors(orig as usize);
+            let mut remaining: Vec<u32> = full.to_vec();
+            for &local_nb in row {
+                let nb = s.vertices[local_nb as usize];
+                match remaining.iter().position(|&x| x == nb) {
+                    Some(i) => {
+                        remaining.swap_remove(i);
+                    }
+                    None => {
+                        return Err(format!(
+                            "vertex {orig}: sampled neighbor {nb} not an in-neighbor \
+                             (or drawn more often than it occurs)"
+                        ));
+                    }
+                }
+            }
+        }
+    }
     Ok(())
 }
 

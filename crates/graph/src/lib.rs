@@ -25,6 +25,7 @@ pub mod builder;
 pub mod components;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod partition;
@@ -35,6 +36,7 @@ pub mod subgraph;
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use datasets::{DatasetSpec, DATASETS};
+pub use delta::{DeltaGraph, GraphEpoch};
 pub use partition::{NeighborGroup, VertexPartition};
 pub use stats::GraphStats;
-pub use subgraph::EgoGraph;
+pub use subgraph::{EgoGraph, Neighborhoods};

@@ -20,6 +20,42 @@ use crate::csr::Csr;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
+/// Read-only neighborhood access, the minimal surface k-hop extraction
+/// needs. Implemented by [`Csr`] (a frozen graph) and by
+/// [`crate::delta::GraphEpoch`] (an epoch snapshot of a mutating graph),
+/// so the same traversal — and therefore bitwise-identical extraction —
+/// runs over both.
+///
+/// Implementations must visit `v`'s in-neighbors in the row order the
+/// materialized CSR would store them (ascending ids; duplicates, where
+/// legal, in row order). Extraction order, and thus the relabelling and
+/// the float-summation order downstream, follows visit order exactly.
+pub trait Neighborhoods {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+    /// Visit `v`'s in-neighbors in row order.
+    fn visit_neighbors(&self, v: usize, f: &mut dyn FnMut(u32));
+    /// In-degree of `v` (must equal the number of `visit_neighbors`
+    /// callbacks).
+    fn degree_of(&self, v: usize) -> usize;
+}
+
+impl Neighborhoods for Csr {
+    fn num_vertices(&self) -> usize {
+        Csr::num_vertices(self)
+    }
+
+    fn visit_neighbors(&self, v: usize, f: &mut dyn FnMut(u32)) {
+        for &u in self.neighbors(v) {
+            f(u);
+        }
+    }
+
+    fn degree_of(&self, v: usize) -> usize {
+        self.degree(v)
+    }
+}
+
 /// A relabelled k-hop ego graph around a set of target vertices.
 ///
 /// Local ids are assigned in BFS discovery order: the (deduplicated)
@@ -67,6 +103,15 @@ impl EgoGraph {
 /// # Panics
 /// Panics if a target id is out of range for `g`.
 pub fn ego_graph(g: &Csr, targets: &[u32], hops: usize) -> EgoGraph {
+    ego_graph_on(g, targets, hops)
+}
+
+/// [`ego_graph`] generalised over any [`Neighborhoods`] view. Running it
+/// over a [`crate::delta::GraphEpoch`] produces the bitwise-identical
+/// extraction the compacted/materialized CSR would: traversal order,
+/// relabelling, and induced rows depend only on the visit order the trait
+/// contract fixes.
+pub fn ego_graph_on<G: Neighborhoods + ?Sized>(g: &G, targets: &[u32], hops: usize) -> EgoGraph {
     let n = g.num_vertices();
     let mut local: HashMap<u32, u32> = HashMap::with_capacity(targets.len() * 4);
     let mut vertices: Vec<u32> = Vec::with_capacity(targets.len() * 4);
@@ -87,13 +132,14 @@ pub fn ego_graph(g: &Csr, targets: &[u32], hops: usize) -> EgoGraph {
     for depth in 1..=hops.min(u8::MAX as usize) {
         let level_end = vertices.len();
         for i in frontier..level_end {
-            for &u in g.neighbors(vertices[i] as usize) {
+            let v = vertices[i] as usize;
+            g.visit_neighbors(v, &mut |u| {
                 if let Entry::Vacant(e) = local.entry(u) {
                     e.insert(vertices.len() as u32);
                     vertices.push(u);
                     hop.push(depth as u8);
                 }
-            }
+            });
         }
         if vertices.len() == level_end {
             break; // closed under in-edges already
@@ -107,7 +153,116 @@ pub fn ego_graph(g: &Csr, targets: &[u32], hops: usize) -> EgoGraph {
     let mut indices = Vec::new();
     for &orig in &vertices {
         let start = indices.len();
-        for &u in g.neighbors(orig as usize) {
+        g.visit_neighbors(orig as usize, &mut |u| {
+            if let Some(&l) = local.get(&u) {
+                indices.push(l);
+            }
+        });
+        indices[start..].sort_unstable();
+        indptr.push(indices.len() as u32);
+    }
+    EgoGraph {
+        csr: Csr::new(vertices.len(), indptr, indices),
+        vertices,
+        hop,
+        num_targets,
+    }
+}
+
+/// splitmix64 — the statelessly seeded mixer the generators use; local
+/// copy so sampling stays self-contained.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic fanout-capped row sample: at most `fanout` of `v`'s
+/// in-neighbors, chosen by a partial Fisher-Yates shuffle seeded from
+/// `(seed, v)` alone, returned **sorted**. Rows at or under the cap are
+/// returned whole. Same `(g, v, fanout, seed)` → same sample, always.
+fn sampled_row<G: Neighborhoods + ?Sized>(g: &G, v: usize, fanout: usize, seed: u64) -> Vec<u32> {
+    let mut row = Vec::with_capacity(g.degree_of(v));
+    g.visit_neighbors(v, &mut |u| row.push(u));
+    if row.len() <= fanout {
+        return row;
+    }
+    let mut state = mix64(seed ^ ((v as u64).wrapping_mul(0xa076_1d64_78bd_642f)));
+    for i in 0..fanout {
+        state = mix64(state);
+        let j = i + (state as usize) % (row.len() - i);
+        row.swap(i, j);
+    }
+    row.truncate(fanout);
+    row.sort_unstable();
+    row
+}
+
+/// GraphSAGE-style seeded, fanout-capped ego extraction: the `Sampled`
+/// degradation rung's cheap stand-in for [`ego_graph`].
+///
+/// Identical multi-source BFS and relabelling discipline as `ego_graph`,
+/// except each expanded or induced row is first capped to at most
+/// `fanout` in-neighbors by [`sampled_row`]'s per-vertex seeded draw. The
+/// sample is a function of `(seed, vertex)` only, so the extraction is
+/// deterministic for a given `(graph, targets, hops, fanout, seed)` and
+/// the extracted vertex set is always a subset of the exact ego graph's.
+/// Rows are *incomplete* by construction — callers must flag results as
+/// degraded and must not cache them as exact.
+pub fn sampled_ego_graph<G: Neighborhoods + ?Sized>(
+    g: &G,
+    targets: &[u32],
+    hops: usize,
+    fanout: usize,
+    seed: u64,
+) -> EgoGraph {
+    let n = g.num_vertices();
+    let mut local: HashMap<u32, u32> = HashMap::with_capacity(targets.len() * 4);
+    let mut vertices: Vec<u32> = Vec::with_capacity(targets.len() * 4);
+    let mut hop: Vec<u8> = Vec::with_capacity(targets.len() * 4);
+    // Memoised per-vertex samples: the expansion pass and the induced-row
+    // pass must see the same draw.
+    let mut chosen: HashMap<u32, Vec<u32>> = HashMap::new();
+    for &t in targets {
+        assert!((t as usize) < n, "target {t} out of range (n = {n})");
+        if let Entry::Vacant(e) = local.entry(t) {
+            e.insert(vertices.len() as u32);
+            vertices.push(t);
+            hop.push(0);
+        }
+    }
+    let num_targets = vertices.len();
+    let mut frontier = 0;
+    for depth in 1..=hops.min(u8::MAX as usize) {
+        let level_end = vertices.len();
+        for i in frontier..level_end {
+            let v = vertices[i];
+            let row = chosen
+                .entry(v)
+                .or_insert_with(|| sampled_row(g, v as usize, fanout, seed));
+            for &u in row.iter() {
+                if let Entry::Vacant(e) = local.entry(u) {
+                    e.insert(vertices.len() as u32);
+                    vertices.push(u);
+                    hop.push(depth as u8);
+                }
+            }
+        }
+        if vertices.len() == level_end {
+            break;
+        }
+        frontier = level_end;
+    }
+    let mut indptr = Vec::with_capacity(vertices.len() + 1);
+    indptr.push(0u32);
+    let mut indices = Vec::new();
+    for &orig in vertices.iter() {
+        let row = chosen
+            .entry(orig)
+            .or_insert_with(|| sampled_row(g, orig as usize, fanout, seed));
+        let start = indices.len();
+        for &u in row.iter() {
             if let Some(&l) = local.get(&u) {
                 indices.push(l);
             }
@@ -266,5 +421,58 @@ mod tests {
     fn out_of_range_target_panics() {
         let g = generators::path(5);
         let _ = ego_graph(&g, &[99], 1);
+    }
+
+    #[test]
+    fn generic_traversal_is_bitwise_identical_to_csr_path() {
+        let g = generators::rmat_default(400, 3600, 7);
+        for (targets, hops) in [(vec![0u32, 13, 377], 2usize), (vec![5], 3), (vec![9, 9], 1)] {
+            let a = ego_graph(&g, &targets, hops);
+            let b = ego_graph_on(&g, &targets, hops);
+            assert_eq!(a.csr, b.csr);
+            assert_eq!(a.vertices, b.vertices);
+            assert_eq!(a.hop, b.hop);
+            assert_eq!(a.num_targets, b.num_targets);
+        }
+    }
+
+    #[test]
+    fn sampled_extraction_is_same_seed_deterministic() {
+        let g = generators::rmat_default(300, 4800, 21);
+        let a = sampled_ego_graph(&g, &[1, 40, 200], 2, 4, 0xfeed);
+        let b = sampled_ego_graph(&g, &[1, 40, 200], 2, 4, 0xfeed);
+        assert_eq!(a.csr, b.csr);
+        assert_eq!(a.vertices, b.vertices);
+        assert_eq!(a.hop, b.hop);
+    }
+
+    #[test]
+    fn sampled_extraction_is_a_capped_subset_of_exact() {
+        let g = generators::rmat_default(300, 4800, 22);
+        let targets = [2u32, 77, 131];
+        let exact = ego_graph(&g, &targets, 2);
+        let sampled = sampled_ego_graph(&g, &targets, 2, 3, 99);
+        let exact_set: std::collections::HashSet<u32> = exact.vertices.iter().copied().collect();
+        for &v in &sampled.vertices {
+            assert!(
+                exact_set.contains(&v),
+                "sampled vertex {v} not in exact ego"
+            );
+        }
+        for v in 0..sampled.csr.num_vertices() {
+            assert!(sampled.csr.degree(v) <= 3, "row {v} exceeds fanout cap");
+        }
+        assert_eq!(sampled.targets(), &targets);
+    }
+
+    #[test]
+    fn sampled_extraction_with_large_fanout_equals_exact() {
+        // A fanout no row exceeds makes sampling the identity.
+        let g = generators::watts_strogatz(120, 4, 0.1, 9);
+        let exact = ego_graph(&g, &[3, 60], 2);
+        let sampled = sampled_ego_graph(&g, &[3, 60], 2, usize::MAX, 1);
+        assert_eq!(exact.csr, sampled.csr);
+        assert_eq!(exact.vertices, sampled.vertices);
+        assert_eq!(exact.hop, sampled.hop);
     }
 }

@@ -1,0 +1,255 @@
+//! Property tests for the dynamic-graph layer: delta overlay vs the
+//! rebuilt-CSR oracle, compaction idempotence and bitwise equivalence,
+//! snapshot immutability, and the `affected_within` invalidation
+//! frontier — all under randomized insertion schedules.
+
+use proptest::prelude::*;
+use tlpgnn_graph::{subgraph, Csr, DeltaGraph, GraphBuilder};
+
+/// One step of a randomized mutation schedule. Raw operands are reduced
+/// modulo the graph's *current* size at apply time, so schedules stay
+/// valid as vertices are appended.
+#[derive(Debug, Clone)]
+enum Op {
+    InsertEdge(u32, u32),
+    InsertVertex,
+    SetFeatures(u32),
+    Compact,
+}
+
+fn arb_schedule(max_n: usize, max_m: usize, max_ops: usize) -> impl Strategy<Value = Sched> {
+    let base = (2usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |e| (n, e))
+    });
+    let op = (0u8..10, any::<u32>(), any::<u32>()).prop_map(|(k, a, b)| match k {
+        0..=5 => Op::InsertEdge(a, b),
+        6..=7 => Op::InsertVertex,
+        8 => Op::SetFeatures(a),
+        _ => Op::Compact,
+    });
+    (base, proptest::collection::vec(op, 0..max_ops))
+}
+
+type Sched = ((usize, Vec<(u32, u32)>), Vec<Op>);
+
+fn build(n: usize, edges: &[(u32, u32)]) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    b.extend(edges.iter().copied());
+    b.build()
+}
+
+/// Independent CSR packer: sort the (dst, src) multiset and pack rows by
+/// counting — deliberately sharing no code with `DeltaGraph`.
+fn pack(n: usize, mut edges: Vec<(u32, u32)>) -> Csr {
+    edges.sort_unstable();
+    let mut indptr = vec![0u32; n + 1];
+    for &(dst, _) in &edges {
+        indptr[dst as usize + 1] += 1;
+    }
+    for i in 1..=n {
+        indptr[i] += indptr[i - 1];
+    }
+    let indices: Vec<u32> = edges.into_iter().map(|(_, src)| src).collect();
+    Csr::new(n, indptr, indices)
+}
+
+/// Apply the schedule, mirroring every accepted edge into a plain edge
+/// list. Returns the final graph and the mirror `(n, edges)`.
+fn apply(base: Csr, ops: &[Op]) -> (DeltaGraph, usize, Vec<(u32, u32)>) {
+    let mut mirror: Vec<(u32, u32)> = base.edge_iter().map(|(src, dst)| (dst, src)).collect();
+    let mut dg = DeltaGraph::new(base);
+    for op in ops {
+        let n = dg.num_vertices() as u32;
+        match op {
+            Op::InsertEdge(a, b) => {
+                let (src, dst) = (a % n, b % n);
+                if dg.insert_edge(src, dst) {
+                    mirror.push((dst, src));
+                }
+            }
+            Op::InsertVertex => {
+                let id = dg.insert_vertex(vec![n as f32, 1.0]);
+                assert_eq!(id, n, "appended vertices get dense ids");
+            }
+            Op::SetFeatures(a) => dg.set_features(a % n, vec![0.5, (a % n) as f32]),
+            Op::Compact => dg.compact(),
+        }
+    }
+    let n = dg.num_vertices();
+    (dg, n, mirror)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Delta overlay ≡ rebuilt CSR: same degrees, same neighbor rows in
+    /// the same iteration order, same edge count — against a packer that
+    /// shares no code with the overlay.
+    #[test]
+    fn overlay_matches_rebuilt_csr(((bn, bedges), ops) in arb_schedule(40, 150, 60)) {
+        let (dg, n, mirror) = apply(build(bn, &bedges), &ops);
+        let want = pack(n, mirror);
+        let snap = dg.snapshot();
+        prop_assert_eq!(snap.num_edges(), want.num_edges());
+        for v in 0..n {
+            prop_assert_eq!(snap.degree(v), want.degree(v), "degree of {}", v);
+            prop_assert_eq!(snap.neighbors_vec(v), want.neighbors(v).to_vec(), "row {}", v);
+        }
+        // materialize() is the same graph, bitwise.
+        prop_assert_eq!(snap.materialize(), want);
+    }
+
+    /// Compaction folds the delta into a base bitwise-equal to the
+    /// from-scratch rebuild, empties the overlay, keeps the epoch, and is
+    /// idempotent.
+    #[test]
+    fn compaction_is_bitwise_and_idempotent(((bn, bedges), ops) in arb_schedule(40, 150, 60)) {
+        let (mut dg, _, _) = apply(build(bn, &bedges), &ops);
+        let oracle = dg.materialize();
+        let epoch = dg.epoch();
+        dg.compact();
+        prop_assert_eq!(dg.base(), &oracle);
+        prop_assert_eq!(dg.delta_edges(), 0);
+        prop_assert_eq!(dg.delta_vertices(), 0);
+        prop_assert_eq!(dg.epoch(), epoch, "compaction must not bump the epoch");
+        let once = dg.clone();
+        dg.compact();
+        prop_assert_eq!(dg.base(), once.base());
+        prop_assert_eq!(dg.materialize(), oracle);
+    }
+
+    /// Snapshots are immutable: a snapshot taken mid-schedule is
+    /// unaffected by later mutations and compactions.
+    #[test]
+    fn snapshots_pin_their_epoch(((bn, bedges), ops) in arb_schedule(30, 100, 50)) {
+        let split = ops.len() / 2;
+        let (dg_mid, _, _) = apply(build(bn, &bedges), &ops[..split]);
+        let pinned = dg_mid.snapshot();
+        let frozen = pinned.materialize();
+        let frozen_epoch = pinned.epoch();
+        let mut dg = dg_mid;
+        for op in &ops[split..] {
+            let n = dg.num_vertices() as u32;
+            match op {
+                Op::InsertEdge(a, b) => { dg.insert_edge(a % n, b % n); }
+                Op::InsertVertex => { dg.insert_vertex(vec![0.0]); }
+                Op::SetFeatures(a) => dg.set_features(a % n, vec![1.0]),
+                Op::Compact => dg.compact(),
+            }
+        }
+        prop_assert_eq!(pinned.materialize(), frozen);
+        prop_assert_eq!(pinned.epoch(), frozen_epoch);
+        prop_assert!(dg.epoch() >= frozen_epoch);
+    }
+
+    /// Ego extraction over a snapshot is bitwise-identical to extraction
+    /// over the materialized CSR — the property the serving tier's
+    /// correctness rests on.
+    #[test]
+    fn snapshot_extraction_is_bitwise(((bn, bedges), ops) in arb_schedule(30, 120, 40),
+                                      t in any::<u32>(), hops in 0usize..4) {
+        let (dg, n, _) = apply(build(bn, &bedges), &ops);
+        let snap = dg.snapshot();
+        let mat = snap.materialize();
+        let targets = [t % n as u32];
+        let a = snap.ego_graph(&targets, hops);
+        let b = subgraph::ego_graph(&mat, &targets, hops);
+        prop_assert_eq!(a.csr, b.csr);
+        prop_assert_eq!(a.vertices, b.vertices);
+        prop_assert_eq!(a.hop, b.hop);
+        // Sampled extraction agrees across the two views too (same rows,
+        // same per-vertex seeded draw).
+        let sa = snap.sampled_ego_graph(&targets, hops, 3, 0xabc);
+        let sb = subgraph::sampled_ego_graph(&mat, &targets, hops, 3, 0xabc);
+        prop_assert_eq!(sa.csr, sb.csr);
+        prop_assert_eq!(sa.vertices, sb.vertices);
+    }
+
+    /// `affected_within(dirty, k)` is sound for cache invalidation: every
+    /// vertex whose k-hop ego graph (on the post-mutation view) contains
+    /// a dirty vertex is in the affected set.
+    #[test]
+    fn affected_within_covers_receptive_fields(((bn, bedges), ops) in arb_schedule(24, 80, 30),
+                                               s in any::<u32>(), d in any::<u32>(),
+                                               k in 0usize..4) {
+        let (mut dg, _, _) = apply(build(bn, &bedges), &ops);
+        let n = dg.num_vertices() as u32;
+        let (src, dst) = (s % n, d % n);
+        dg.insert_edge(src, dst);
+        let dirty = [src, dst];
+        let affected = dg.affected_within(&dirty, k);
+        prop_assert!(affected.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        let mat = dg.materialize();
+        for t in 0..n {
+            let ego = subgraph::ego_graph(&mat, &[t], k);
+            let touches = ego.vertices.iter().any(|v| dirty.contains(v));
+            if touches {
+                prop_assert!(
+                    affected.binary_search(&t).is_ok(),
+                    "vertex {} reaches dirty set within {} hops but is not in affected",
+                    t, k
+                );
+            }
+        }
+    }
+
+    /// Epochs are monotone and bump exactly once per accepted mutation.
+    #[test]
+    fn epoch_counts_accepted_mutations(((bn, bedges), ops) in arb_schedule(24, 80, 40)) {
+        let mut dg = DeltaGraph::new(build(bn, &bedges));
+        let mut expected = 0u64;
+        for op in &ops {
+            let n = dg.num_vertices() as u32;
+            match op {
+                Op::InsertEdge(a, b) => {
+                    if dg.insert_edge(a % n, b % n) {
+                        expected += 1;
+                    }
+                }
+                Op::InsertVertex => { dg.insert_vertex(Vec::new()); expected += 1; }
+                Op::SetFeatures(a) => { dg.set_features(a % n, Vec::new()); expected += 1; }
+                Op::Compact => dg.compact(),
+            }
+            prop_assert_eq!(dg.epoch(), expected);
+        }
+    }
+}
+
+/// Duplicate edges in the base are legal and must survive both the
+/// merged view and compaction (the conformance harness feeds multigraph
+/// cases); the overlay itself never adds duplicates.
+#[test]
+fn base_duplicates_survive_overlay_and_compaction() {
+    // Row 1 holds in-neighbors [0, 0, 2]: a duplicate 0 -> 1 edge.
+    let base = Csr::new(3, vec![0, 0, 3, 3], vec![0, 0, 2]);
+    let mut dg = DeltaGraph::new(base);
+    assert!(!dg.insert_edge(0, 1), "existing edge rejected");
+    assert!(!dg.insert_edge(2, 1), "existing edge rejected");
+    assert!(dg.insert_edge(1, 1), "self-loops are representable");
+    let snap = dg.snapshot();
+    assert_eq!(snap.neighbors_vec(1), vec![0, 0, 1, 2]);
+    let oracle = dg.materialize();
+    dg.compact();
+    assert_eq!(dg.base(), &oracle);
+    assert_eq!(dg.base().neighbors(1), &[0, 0, 1, 2]);
+}
+
+/// Feature rows: new vertices carry their row in the overlay; updates
+/// overwrite; `take_feature_overlay` drains exactly once.
+#[test]
+fn feature_overlay_lifecycle() {
+    let mut dg = DeltaGraph::new(build(3, &[(0, 1), (1, 2)]));
+    let v = dg.insert_vertex(vec![7.0, 8.0]);
+    assert_eq!(v, 3);
+    dg.set_features(0, vec![1.5, 2.5]);
+    dg.set_features(0, vec![3.5, 4.5]); // second write wins
+    let snap = dg.snapshot();
+    assert_eq!(snap.feature_row(3), Some(&[7.0, 8.0][..]));
+    assert_eq!(snap.feature_row(0), Some(&[3.5, 4.5][..]));
+    assert_eq!(snap.feature_row(1), None);
+    let overlay = dg.take_feature_overlay();
+    assert_eq!(overlay.len(), 2);
+    assert!(dg.take_feature_overlay().is_empty(), "drained exactly once");
+    // The earlier snapshot still sees the pre-drain overlay.
+    assert_eq!(snap.feature_row(3), Some(&[7.0, 8.0][..]));
+}

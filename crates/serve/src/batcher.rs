@@ -77,6 +77,15 @@ impl<T> BatchQueue<T> {
     /// shut down — the caller converts that into an `Overloaded` /
     /// `ShuttingDown` rejection.
     pub fn push(&self, item: T) -> Result<usize, PushError<T>> {
+        self.push_with(item, |_| {})
+    }
+
+    /// [`push`](Self::push), invoking `on_admit(depth)` while the queue
+    /// lock is still held. A worker needs that lock to pop, so anything
+    /// `on_admit` records (e.g. the `enqueue` trace event) is strictly
+    /// ordered before any worker-side event for the same item — pushing
+    /// the event after `push` returns would race the worker's `pickup`.
+    pub fn push_with(&self, item: T, on_admit: impl FnOnce(usize)) -> Result<usize, PushError<T>> {
         let mut st = self.state.lock().unwrap();
         if st.shutdown {
             return Err(PushError::ShutDown(item));
@@ -86,6 +95,7 @@ impl<T> BatchQueue<T> {
         }
         st.items.push_back((item, Instant::now()));
         let depth = st.items.len();
+        on_admit(depth);
         drop(st);
         self.nonempty.notify_one();
         Ok(depth)

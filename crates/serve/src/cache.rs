@@ -26,6 +26,15 @@ pub struct CacheKey {
     pub hops: u16,
     /// Model version; bumping it invalidates every older entry.
     pub version: u32,
+    /// Graph epoch the row was computed against (0 for a frozen graph,
+    /// so the epoch layer is invisible when no mutations are applied).
+    /// On mutation the server walks current-epoch entries once: rows
+    /// whose receptive field touches a dirty vertex are evicted, the
+    /// rest are re-keyed to the new epoch (see
+    /// [`FeatureCache::invalidate_mutated`]); entries pinned to *older*
+    /// epochs are left alone — they stay exact for requests pinned to
+    /// those epochs.
+    pub epoch: u64,
     /// Shard whose worker computed the row (0 for the unsharded
     /// server). Final-layer embeddings are a pure function of (vertex,
     /// layer, hops, version) — the distributed extraction is bitwise
@@ -71,6 +80,7 @@ pub struct FeatureCache {
     misses: u64,
     evictions: u64,
     stale_hits: u64,
+    mutation_evictions: u64,
 }
 
 impl FeatureCache {
@@ -85,6 +95,7 @@ impl FeatureCache {
             misses: 0,
             evictions: 0,
             stale_hits: 0,
+            mutation_evictions: 0,
         }
     }
 
@@ -247,6 +258,73 @@ impl FeatureCache {
         self.map.clear();
         self.lru.clear();
     }
+
+    /// Apply a graph mutation `old_epoch -> new_epoch` to the keyspace.
+    ///
+    /// Walks every entry keyed at exactly `old_epoch` (the epoch that
+    /// just stopped being current): entries whose vertex is in
+    /// `affected` — the mutation's k-hop invalidation frontier, every
+    /// vertex whose receptive field touches a dirty vertex — are
+    /// evicted; all others are *re-keyed* to `new_epoch`, because a row
+    /// whose receptive field the mutation cannot reach is bitwise
+    /// identical on both epochs. Entries at older epochs are untouched:
+    /// each epoch's graph is immutable, so they remain exact for
+    /// requests still pinned there. Returns `(evicted, rekeyed)`.
+    ///
+    /// `new_epoch` must be fresh (no entries keyed there yet) — the
+    /// serve tier guarantees this by invalidating under the same lock
+    /// that bumps the epoch.
+    pub fn invalidate_mutated(
+        &mut self,
+        old_epoch: u64,
+        new_epoch: u64,
+        affected: &std::collections::HashSet<u32>,
+    ) -> (u64, u64) {
+        debug_assert!(new_epoch > old_epoch);
+        let stale: Vec<CacheKey> = self
+            .map
+            .keys()
+            .filter(|k| k.epoch == old_epoch)
+            .copied()
+            .collect();
+        let (mut evicted, mut rekeyed) = (0u64, 0u64);
+        for key in stale {
+            let entry = self.map.remove(&key).expect("key enumerated above");
+            if affected.contains(&key.vertex) {
+                self.lru.remove(&entry.stamp);
+                self.mutation_evictions += 1;
+                evicted += 1;
+            } else {
+                let mut nk = key;
+                nk.epoch = new_epoch;
+                *self
+                    .lru
+                    .get_mut(&entry.stamp)
+                    .expect("live entry has a stamp") = nk;
+                self.map.insert(nk, entry);
+                rekeyed += 1;
+            }
+        }
+        (evicted, rekeyed)
+    }
+
+    /// Entries evicted by [`Self::invalidate_mutated`] (disjoint from
+    /// capacity [`evictions`](Self::evictions)).
+    pub fn mutation_evictions(&self) -> u64 {
+        self.mutation_evictions
+    }
+
+    /// The deepest extraction depth cached at `epoch`, or `None` when no
+    /// entry is keyed there. Mutation invalidation must walk the
+    /// out-edge frontier at least this deep — a row cached at depth `h`
+    /// has an `h`-hop receptive field regardless of the server's default.
+    pub fn max_hops_at_epoch(&self, epoch: u64) -> Option<u16> {
+        self.map
+            .keys()
+            .filter(|k| k.epoch == epoch)
+            .map(|k| k.hops)
+            .max()
+    }
 }
 
 #[cfg(test)]
@@ -260,7 +338,12 @@ mod tests {
             hops: 2,
             version: 1,
             shard: 0,
+            epoch: 0,
         }
+    }
+
+    fn key_at(v: u32, epoch: u64) -> CacheKey {
+        CacheKey { epoch, ..key(v) }
     }
 
     #[test]
@@ -297,54 +380,20 @@ mod tests {
     }
 
     #[test]
-    fn version_layer_hops_and_shard_partition_the_keyspace() {
+    fn version_layer_hops_shard_and_epoch_partition_the_keyspace() {
         let mut c = FeatureCache::new(8);
-        c.insert(
-            CacheKey {
-                vertex: 5,
-                layer: 2,
-                hops: 2,
-                version: 1,
-                shard: 0,
-            },
-            vec![1.0],
-        );
+        c.insert(key(5), vec![1.0]);
         assert!(c
             .get(CacheKey {
-                vertex: 5,
-                layer: 2,
-                hops: 2,
                 version: 2,
-                shard: 0,
+                ..key(5)
             })
             .is_none());
-        assert!(c
-            .get(CacheKey {
-                vertex: 5,
-                layer: 1,
-                hops: 2,
-                version: 1,
-                shard: 0,
-            })
-            .is_none());
-        assert!(c
-            .get(CacheKey {
-                vertex: 5,
-                layer: 2,
-                hops: 1,
-                version: 1,
-                shard: 0,
-            })
-            .is_none());
-        assert!(c
-            .get(CacheKey {
-                vertex: 5,
-                layer: 2,
-                hops: 2,
-                version: 1,
-                shard: 1,
-            })
-            .is_none());
+        assert!(c.get(CacheKey { layer: 1, ..key(5) }).is_none());
+        assert!(c.get(CacheKey { hops: 1, ..key(5) }).is_none());
+        assert!(c.get(CacheKey { shard: 1, ..key(5) }).is_none());
+        assert!(c.get(CacheKey { epoch: 1, ..key(5) }).is_none());
+        assert!(c.get(key(5)).is_some());
     }
 
     #[test]
@@ -404,5 +453,51 @@ mod tests {
             c.get_aged(key(1), Some(Duration::from_secs(3600)), Duration::ZERO),
             Lookup::Fresh(&[2.0][..])
         );
+    }
+
+    #[test]
+    fn mutation_evicts_affected_and_rekeys_the_rest() {
+        let mut c = FeatureCache::new(8);
+        c.insert(key_at(1, 3), vec![1.0]);
+        c.insert(key_at(2, 3), vec![2.0]);
+        c.insert(key_at(3, 3), vec![3.0]);
+        let affected: std::collections::HashSet<u32> = [2].into_iter().collect();
+        let (evicted, rekeyed) = c.invalidate_mutated(3, 4, &affected);
+        assert_eq!((evicted, rekeyed), (1, 2));
+        assert_eq!(c.mutation_evictions(), 1);
+        // Affected vertex is gone at every epoch.
+        assert!(c.get(key_at(2, 3)).is_none());
+        assert!(c.get(key_at(2, 4)).is_none());
+        // Unaffected vertices moved forward: miss at the old epoch, hit
+        // at the new one — no recompute needed.
+        assert!(c.get(key_at(1, 3)).is_none());
+        assert_eq!(c.get(key_at(1, 4)), Some(&[1.0][..]));
+        assert_eq!(c.get(key_at(3, 4)), Some(&[3.0][..]));
+    }
+
+    #[test]
+    fn mutation_leaves_older_epochs_pinned() {
+        let mut c = FeatureCache::new(8);
+        c.insert(key_at(7, 1), vec![1.0]); // pinned to epoch 1
+        c.insert(key_at(7, 2), vec![2.0]); // current
+        let affected: std::collections::HashSet<u32> = [7].into_iter().collect();
+        let (evicted, rekeyed) = c.invalidate_mutated(2, 3, &affected);
+        assert_eq!((evicted, rekeyed), (1, 0));
+        // The epoch-1 row survives: that epoch's graph is immutable.
+        assert_eq!(c.get(key_at(7, 1)), Some(&[1.0][..]));
+        assert!(c.get(key_at(7, 3)).is_none());
+    }
+
+    #[test]
+    fn rekeyed_entries_keep_lru_order() {
+        let mut c = FeatureCache::new(2);
+        c.insert(key_at(1, 0), vec![1.0]);
+        c.insert(key_at(2, 0), vec![2.0]);
+        let (_, rekeyed) = c.invalidate_mutated(0, 1, &std::collections::HashSet::new());
+        assert_eq!(rekeyed, 2);
+        // Vertex 1 is still the LRU victim after re-keying.
+        c.insert(key_at(3, 1), vec![3.0]);
+        assert!(c.get(key_at(1, 1)).is_none(), "oldest entry evicted");
+        assert!(c.get(key_at(2, 1)).is_some());
     }
 }

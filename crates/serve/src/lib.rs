@@ -19,8 +19,15 @@
 //!   kernel-launch sequence for the whole batch instead of one per
 //!   request ([`server`]).
 //! * An **LRU feature cache** keyed by
-//!   `(vertex, layer, hops, model_version, shard)` lets hot vertices
-//!   skip extraction and recomputation entirely ([`cache`]).
+//!   `(vertex, layer, hops, model_version, shard, epoch)` lets hot
+//!   vertices skip extraction and recomputation entirely ([`cache`]).
+//! * **Streaming graph mutations**: [`server::GnnServer::mutate`] applies
+//!   atomic batches of edge/vertex insertions and feature updates against
+//!   an epoch-versioned delta overlay (`tlpgnn_graph::DeltaGraph`).
+//!   In-flight requests pin the snapshot current at submission, mutation
+//!   invalidates exactly the cache entries whose receptive field touches
+//!   a dirty vertex, and a `Sampled` degradation rung serves seeded
+//!   fanout-capped extractions under load ([`request::GraphMutation`]).
 //! * **Backpressure** is explicit: the request queue is bounded and
 //!   `submit` fails fast with [`ServeError::Overloaded`] past capacity —
 //!   the queue never grows without bound ([`batcher`], [`server`]).
@@ -78,7 +85,7 @@ pub use cache::{CacheKey, FeatureCache, Lookup};
 pub use policy::{
     CircuitBreaker, DegradationController, DegradationLevel, DegradationPolicy, RetryPolicy,
 };
-pub use request::{Degradation, Request, RequestTiming, Response, ServeError};
+pub use request::{Degradation, GraphMutation, Request, RequestTiming, Response, ServeError};
 pub use server::{GnnServer, ResponseHandle, ServeConfig, ServerStats};
 pub use sharded::{ShardedConfig, ShardedServer, ShardedStats};
 pub use supervisor::{DeathCause, HealthSnapshot, Supervisor, SupervisorConfig, WorkerExit};

@@ -151,12 +151,16 @@ pub enum DegradationLevel {
     /// Serve cache entries up to `stale_grace` past their TTL, flagged
     /// `degraded.stale_cache`.
     StaleOk = 1,
+    /// Additionally extract with seeded fanout-capped neighbor sampling
+    /// (GraphSAGE-style) at full depth, flagged `degraded.sampled`.
+    /// Sampled outputs are approximate and are never cached.
+    Sampled = 2,
     /// Additionally truncate ego-graph extraction by one hop, flagged
     /// `degraded.reduced_hops` (truncated outputs cache only under
-    /// their own depth key).
-    ReducedHops = 2,
+    /// their own depth key). Supersedes sampling.
+    ReducedHops = 3,
     /// Additionally reject new submissions (`ServeError::Overloaded`).
-    Shed = 3,
+    Shed = 4,
 }
 
 impl DegradationLevel {
@@ -164,7 +168,8 @@ impl DegradationLevel {
         match v {
             0 => Self::Normal,
             1 => Self::StaleOk,
-            2 => Self::ReducedHops,
+            2 => Self::Sampled,
+            3 => Self::ReducedHops,
             _ => Self::Shed,
         }
     }
@@ -174,6 +179,7 @@ impl DegradationLevel {
         match self {
             Self::Normal => "normal",
             Self::StaleOk => "stale_ok",
+            Self::Sampled => "sampled",
             Self::ReducedHops => "reduced_hops",
             Self::Shed => "shed",
         }
@@ -190,11 +196,11 @@ impl DegradationLevel {
 /// threshold does not flap the ladder.
 #[derive(Debug, Clone)]
 pub struct DegradationPolicy {
-    /// Pressure at which levels 1..3 engage, ascending.
-    pub enter: [f64; 3],
-    /// Pressure below which levels 1..3 disengage (each below its
+    /// Pressure at which levels 1..4 engage, ascending.
+    pub enter: [f64; 4],
+    /// Pressure below which levels 1..4 disengage (each below its
     /// `enter`).
-    pub exit: [f64; 3],
+    pub exit: [f64; 4],
     /// How much a fully-unhealthy worker pool adds to pressure.
     pub unhealthy_weight: f64,
 }
@@ -202,8 +208,8 @@ pub struct DegradationPolicy {
 impl Default for DegradationPolicy {
     fn default() -> Self {
         Self {
-            enter: [0.50, 0.75, 0.95],
-            exit: [0.35, 0.60, 0.85],
+            enter: [0.50, 0.70, 0.85, 0.95],
+            exit: [0.35, 0.55, 0.70, 0.85],
             unhealthy_weight: 1.0,
         }
     }
@@ -341,12 +347,15 @@ mod tests {
         let c = DegradationController::new(DegradationPolicy::default());
         assert_eq!(c.level(), DegradationLevel::Normal);
         assert_eq!(c.update(0.55, 0.0), DegradationLevel::StaleOk);
-        assert_eq!(c.update(0.80, 0.0), DegradationLevel::ReducedHops);
+        assert_eq!(c.update(0.75, 0.0), DegradationLevel::Sampled);
+        assert_eq!(c.update(0.90, 0.0), DegradationLevel::ReducedHops);
         assert_eq!(c.update(1.0, 0.0), DegradationLevel::Shed);
         // Hysteresis: between exit (0.85) and enter (0.95) holds Shed...
         assert_eq!(c.update(0.90, 0.0), DegradationLevel::Shed);
-        // ...and below exit it steps down.
-        assert_eq!(c.update(0.70, 0.0), DegradationLevel::ReducedHops);
+        // ...and below each exit it steps down one rung at a time.
+        assert_eq!(c.update(0.80, 0.0), DegradationLevel::ReducedHops);
+        assert_eq!(c.update(0.60, 0.0), DegradationLevel::Sampled);
+        assert_eq!(c.update(0.45, 0.0), DegradationLevel::StaleOk);
         assert_eq!(c.update(0.10, 0.0), DegradationLevel::Normal);
     }
 
@@ -362,8 +371,10 @@ mod tests {
     #[test]
     fn levels_are_ordered() {
         assert!(DegradationLevel::Normal < DegradationLevel::StaleOk);
-        assert!(DegradationLevel::StaleOk < DegradationLevel::ReducedHops);
+        assert!(DegradationLevel::StaleOk < DegradationLevel::Sampled);
+        assert!(DegradationLevel::Sampled < DegradationLevel::ReducedHops);
         assert!(DegradationLevel::ReducedHops < DegradationLevel::Shed);
         assert_eq!(DegradationLevel::Shed.label(), "shed");
+        assert_eq!(DegradationLevel::Sampled.label(), "sampled");
     }
 }

@@ -51,6 +51,36 @@ impl Request {
     }
 }
 
+/// One streaming graph mutation, applied through
+/// `GnnServer::mutate`. A mutation batch validates and applies
+/// atomically: either every entry is applied (one new epoch per accepted
+/// entry, duplicates skipped) or none is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphMutation {
+    /// Insert edge `src -> dst` (both ids must already exist; inserting
+    /// an edge the graph already has is a no-op that burns no epoch).
+    InsertEdge {
+        /// Source vertex id.
+        src: u32,
+        /// Destination vertex id.
+        dst: u32,
+    },
+    /// Append a new vertex with the given feature row (width must match
+    /// the server's embedding dimension). Ids are dense: the new vertex
+    /// gets the current `num_vertices()`.
+    InsertVertex {
+        /// The new vertex's feature row.
+        features: Vec<f32>,
+    },
+    /// Overwrite an existing vertex's feature row.
+    SetFeatures {
+        /// Vertex whose features change.
+        vertex: u32,
+        /// Replacement feature row (embedding-dim wide).
+        features: Vec<f32>,
+    },
+}
+
 /// Which degraded-service measures shaped a response. A response with any
 /// flag set is *approximate* — correct under the degradation contract,
 /// but not bitwise what full service would have returned.
@@ -62,12 +92,15 @@ pub struct Degradation {
     /// At least one target row was computed with a truncated receptive
     /// field (extraction depth reduced under load).
     pub reduced_hops: bool,
+    /// At least one target row was computed from a seeded fanout-capped
+    /// neighbor-sampled extraction (the `Sampled` degradation rung).
+    pub sampled: bool,
 }
 
 impl Degradation {
     /// Whether any degradation measure applied.
     pub fn any(&self) -> bool {
-        self.stale_cache || self.reduced_hops
+        self.stale_cache || self.reduced_hops || self.sampled
     }
 }
 
@@ -82,6 +115,11 @@ pub struct Response {
     /// Degraded-service flags; `Degradation::default()` (no flags) means
     /// full-fidelity service.
     pub degraded: Degradation,
+    /// The graph epoch this request was pinned to at submission: its
+    /// rows are exact (or flagged-degraded) for the graph as of this
+    /// epoch. Always 0 on a server whose graph was never mutated (the
+    /// epoch layer is invisible for frozen graphs).
+    pub epoch: u64,
     /// The request's completed causal event chain (submission → queue →
     /// pickup → attempts → terminal), replayable as a waterfall in the
     /// Chrome-trace export. Empty when telemetry collection is disabled.
@@ -127,6 +165,10 @@ pub enum ServeError {
     DeadlineExceeded,
     /// Device faults exhausted the retry budget for this request's batch.
     DeviceFault,
+    /// A graph mutation carried a feature row whose width differs from
+    /// the server's embedding dimension; the whole batch was rejected
+    /// (mutation batches apply atomically or not at all).
+    FeatureDimMismatch,
 }
 
 impl ServeError {
@@ -140,6 +182,7 @@ impl ServeError {
             ServeError::WorkerLost => "worker_lost",
             ServeError::DeadlineExceeded => "deadline_exceeded",
             ServeError::DeviceFault => "device_fault",
+            ServeError::FeatureDimMismatch => "feature_dim_mismatch",
         }
     }
 }
@@ -156,6 +199,12 @@ impl fmt::Display for ServeError {
                 write!(f, "deadline passed before the request was served")
             }
             ServeError::DeviceFault => write!(f, "device faults exhausted the retry budget"),
+            ServeError::FeatureDimMismatch => {
+                write!(
+                    f,
+                    "mutation feature row width differs from the embedding dim"
+                )
+            }
         }
     }
 }

@@ -37,22 +37,21 @@
 //!   recovered and the cache invalidated once, so a torn write can never
 //!   be served.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 use gpu_sim::{DeviceConfig, FaultPlan, LaunchError};
 use telemetry::{SloMonitor, SloReport, SloSpec, TraceContext};
 use tlpgnn::{EngineOptions, GnnNetwork, TlpgnnEngine};
-use tlpgnn_graph::subgraph::ego_graph;
-use tlpgnn_graph::Csr;
+use tlpgnn_graph::{Csr, DeltaGraph, GraphEpoch};
 use tlpgnn_tensor::Matrix;
 
 use crate::batcher::{BatchQueue, PushError};
 use crate::cache::{CacheKey, FeatureCache, Lookup};
 use crate::policy::{DegradationController, DegradationLevel, DegradationPolicy, RetryPolicy};
-use crate::request::{Degradation, Request, RequestTiming, Response, ServeError};
+use crate::request::{Degradation, GraphMutation, Request, RequestTiming, Response, ServeError};
 use crate::supervisor::{DeathCause, Supervisor, SupervisorConfig, WorkerExit};
 
 /// Configuration of a [`GnnServer`].
@@ -103,6 +102,14 @@ pub struct ServeConfig {
     /// p99 latency target and unflagged-error budget. Gauges publish
     /// under `<metrics_prefix>.slo.*`.
     pub slo: SloSpec,
+    /// Fanout cap of the `Sampled` degradation rung's seeded
+    /// neighbor-sampled extraction (GraphSAGE-style). 0 disables the
+    /// rung (it behaves like `StaleOk`).
+    pub sample_fanout: usize,
+    /// Base seed of the sampled extraction's per-vertex draws; combined
+    /// with the pinned epoch so samples are stable within an epoch and
+    /// refresh across mutations.
+    pub sample_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -124,6 +131,8 @@ impl Default for ServeConfig {
             chaos_panic_on_vertex: None,
             metrics_prefix: "serve".to_string(),
             slo: SloSpec::default(),
+            sample_fanout: 8,
+            sample_seed: 0x5a3d_11e9_c0de_f00d,
         }
     }
 }
@@ -166,6 +175,18 @@ pub struct ServerStats {
     pub degraded: u64,
     /// Cache-lock poison events recovered (cache invalidated each time).
     pub poison_recoveries: u64,
+    /// Graph mutations applied (individual accepted operations).
+    pub mutations: u64,
+    /// The current graph epoch (0 for a never-mutated graph).
+    pub epoch: u64,
+    /// Cache entries evicted by mutation invalidation (receptive field
+    /// touched a dirty vertex); disjoint from `cache_evictions`.
+    pub mutation_evictions: u64,
+    /// Delta-into-base compactions performed.
+    pub compactions: u64,
+    /// Responses served from a sampled (fanout-capped) extraction,
+    /// flagged `degraded.sampled`.
+    pub sampled: u64,
 }
 
 impl ServerStats {
@@ -200,6 +221,12 @@ struct MetricNames {
     requeued: String,
     degraded: String,
     slo_prefix: String,
+    epoch: String,
+    mutations: String,
+    mutation_evictions: String,
+    sampled: String,
+    sampled_extraction_ms: String,
+    sampled_compute_ms: String,
 }
 
 impl MetricNames {
@@ -222,6 +249,12 @@ impl MetricNames {
             requeued: format!("{prefix}.requeued"),
             degraded: format!("{prefix}.degraded"),
             slo_prefix: format!("{prefix}.slo"),
+            epoch: format!("{prefix}.epoch"),
+            mutations: format!("{prefix}.mutations"),
+            mutation_evictions: format!("{prefix}.cache.mutation_evictions"),
+            sampled: format!("{prefix}.sampled"),
+            sampled_extraction_ms: format!("{prefix}.sampled.extraction_ms"),
+            sampled_compute_ms: format!("{prefix}.sampled.compute_ms"),
         }
     }
 }
@@ -238,17 +271,53 @@ struct Pending {
     requeues: u32,
     trace: TraceContext,
     tx: mpsc::Sender<Result<Response, ServeError>>,
+    /// The graph view pinned at submission: workers extract against this
+    /// snapshot no matter how far the writer has moved on, so the
+    /// response is exact for the epoch the trace records.
+    view: EpochView,
 }
 
 type Batch = Vec<(Pending, Instant)>;
 
+/// The mutable graph state behind the server: the delta graph (writer
+/// side) and the dense feature matrix its overlay resolves against.
+/// Guarded by one `RwLock` — submissions take brief read locks to pin a
+/// snapshot; mutations and compactions take the write lock.
+struct GraphState {
+    delta: DeltaGraph,
+    features: Arc<Matrix>,
+}
+
+/// An immutable `(snapshot, features)` pair pinned by a request at
+/// submission. Feature rows resolve overlay-first: rows written (or
+/// appended) after the base matrix was built live in the snapshot's
+/// overlay until a compaction folds them in.
+#[derive(Clone)]
+struct EpochView {
+    snap: GraphEpoch,
+    features: Arc<Matrix>,
+}
+
+impl EpochView {
+    fn epoch(&self) -> u64 {
+        self.snap.epoch()
+    }
+
+    fn feature_row(&self, v: u32) -> &[f32] {
+        self.snap
+            .feature_row(v)
+            .unwrap_or_else(|| self.features.row(v as usize))
+    }
+}
+
 struct Shared {
-    graph: Csr,
-    features: Matrix,
+    state: RwLock<GraphState>,
     net: GnnNetwork,
     exact_hops: usize,
     final_layer: u16,
     model_version: u32,
+    sample_fanout: usize,
+    sample_seed: u64,
     cache: Mutex<FeatureCache>,
     cache_ttl: Option<Duration>,
     stale_grace: Duration,
@@ -274,6 +343,10 @@ struct Shared {
     respawns: AtomicU64,
     degraded: AtomicU64,
     poison_recoveries: AtomicU64,
+    mutations: AtomicU64,
+    mutation_evictions: AtomicU64,
+    compactions: AtomicU64,
+    sampled: AtomicU64,
 }
 
 /// Lock the feature cache, recovering from poison. A worker that dies
@@ -292,6 +365,18 @@ fn lock_cache(shared: &Shared) -> MutexGuard<'_, FeatureCache> {
 }
 
 impl Shared {
+    /// Read-lock the graph state (poison-tolerant: the state is only
+    /// written under [`GnnServer::mutate`]/[`GnnServer::compact_graph`],
+    /// which don't panic mid-write; a poisoned lock still holds a
+    /// consistent value).
+    fn state_read(&self) -> RwLockReadGuard<'_, GraphState> {
+        self.state.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn state_write(&self) -> RwLockWriteGuard<'_, GraphState> {
+        self.state.write().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Feed a successful completion to the SLO monitor and refresh the
     /// `<prefix>.slo.*` gauges.
     fn slo_ok(&self, latency_ms: f64) {
@@ -377,6 +462,8 @@ impl GnnServer {
             exact_hops: net.receptive_hops(),
             final_layer: net.depth() as u16,
             model_version: cfg.model_version,
+            sample_fanout: cfg.sample_fanout,
+            sample_seed: cfg.sample_seed,
             cache: Mutex::new(FeatureCache::new(cfg.cache_capacity)),
             cache_ttl: cfg.cache_ttl,
             stale_grace: cfg.stale_grace,
@@ -385,8 +472,10 @@ impl GnnServer {
             chaos_panic_on_vertex: cfg.chaos_panic_on_vertex,
             shutting_down: Arc::new(AtomicBool::new(false)),
             metrics: MetricNames::new(&cfg.metrics_prefix),
-            graph,
-            features,
+            state: RwLock::new(GraphState {
+                delta: DeltaGraph::new(graph),
+                features: Arc::new(features),
+            }),
             net,
             next_trace: AtomicU64::new(0),
             slo: SloMonitor::new(cfg.slo.clone()),
@@ -403,6 +492,10 @@ impl GnnServer {
             respawns: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             poison_recoveries: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            mutation_evictions: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
         });
         // Per-slot parking spot for the batch a worker is processing;
         // the supervisor salvages it if the worker dies mid-batch.
@@ -493,10 +586,22 @@ impl GnnServer {
         if request.targets.is_empty() {
             return Err(ServeError::EmptyRequest);
         }
-        let n = self.shared.graph.num_vertices() as u32;
-        if let Some(&bad) = request.targets.iter().find(|&&t| t >= n) {
-            return Err(ServeError::InvalidTarget(bad));
-        }
+        // Validate against the *live* vertex count and pin the snapshot
+        // under one read lock: a target valid at this epoch stays valid
+        // for the pinned view no matter what the writer does next.
+        // (Capturing `n` outside the lock would go stale under
+        // concurrent vertex insertion.)
+        let view = {
+            let st = self.shared.state_read();
+            let n = st.delta.num_vertices() as u32;
+            if let Some(&bad) = request.targets.iter().find(|&&t| t >= n) {
+                return Err(ServeError::InvalidTarget(bad));
+            }
+            EpochView {
+                snap: st.delta.snapshot(),
+                features: Arc::clone(&st.features),
+            }
+        };
         // Malformed input above is a caller bug and gets no chain; every
         // well-formed submission is traced from here on. Ids come from a
         // submission-order counter, never the wall clock, so same-seed
@@ -511,6 +616,7 @@ impl GnnServer {
                     .map_or_else(|| "exact".to_string(), |h| h.to_string()),
             )
         });
+        trace.push("epoch", || format!("epoch={}", view.epoch()));
         if self.shared.degradation.level() == DegradationLevel::Shed {
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             telemetry::counter_add(&self.shared.metrics.rejected, 1);
@@ -525,16 +631,19 @@ impl GnnServer {
             requeues: 0,
             trace: trace.clone(),
             tx,
+            view,
         };
-        match self.queue.push(pending) {
-            Ok(depth) => {
-                telemetry::gauge_set(&self.shared.metrics.queue_depth, depth as f64);
-                trace.push("enqueue", || format!("depth={depth}"));
-                Ok(ResponseHandle {
-                    rx,
-                    shutting_down: Arc::clone(&self.shared.shutting_down),
-                })
-            }
+        // The `enqueue` event is recorded under the queue lock: once
+        // `push` returns, a worker may already have finished the whole
+        // request, and a late event would land out of chain order.
+        match self.queue.push_with(pending, |depth| {
+            telemetry::gauge_set(&self.shared.metrics.queue_depth, depth as f64);
+            trace.push("enqueue", || format!("depth={depth}"));
+        }) {
+            Ok(_) => Ok(ResponseHandle {
+                rx,
+                shutting_down: Arc::clone(&self.shared.shutting_down),
+            }),
             Err(PushError::Full(_)) => {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter_add(&self.shared.metrics.rejected, 1);
@@ -568,6 +677,144 @@ impl GnnServer {
         self.shared.exact_hops
     }
 
+    /// The current graph epoch (0 until the first accepted mutation).
+    pub fn epoch(&self) -> u64 {
+        self.shared.state_read().delta.epoch()
+    }
+
+    /// Vertices in the current graph (grows under `InsertVertex`).
+    pub fn num_vertices(&self) -> usize {
+        self.shared.state_read().delta.num_vertices()
+    }
+
+    /// Apply a batch of streaming graph mutations atomically.
+    ///
+    /// The batch is validated up front (ids in range — entries may refer
+    /// to vertices inserted *earlier in the same batch* — and feature
+    /// rows embedding-dim wide); any violation rejects the whole batch
+    /// with nothing applied. On success every accepted entry bumps the
+    /// epoch (duplicate edge inserts are skipped silently) and the
+    /// method returns the new epoch.
+    ///
+    /// Cache coherence happens under the same write lock that bumps the
+    /// epoch: entries keyed at the previously-current epoch are walked
+    /// once — rows whose vertex is within `exact_hops` (or the deepest
+    /// depth cached, if greater) of a dirty vertex along out-edges are
+    /// evicted, the rest re-keyed forward. In-flight requests keep
+    /// serving their pinned snapshots; no stale row is ever served
+    /// unflagged.
+    pub fn mutate(&self, mutations: &[GraphMutation]) -> Result<u64, ServeError> {
+        let mut st = self.shared.state_write();
+        if mutations.is_empty() {
+            return Ok(st.delta.epoch());
+        }
+        let feat_dim = st.features.cols();
+        // Validation pass: simulate the vertex count so later entries can
+        // reference vertices the batch itself inserts.
+        let mut n = st.delta.num_vertices() as u32;
+        for m in mutations {
+            match m {
+                GraphMutation::InsertEdge { src, dst } => {
+                    for &v in [src, dst] {
+                        if v >= n {
+                            return Err(ServeError::InvalidTarget(v));
+                        }
+                    }
+                }
+                GraphMutation::InsertVertex { features } => {
+                    if features.len() != feat_dim {
+                        return Err(ServeError::FeatureDimMismatch);
+                    }
+                    n += 1;
+                }
+                GraphMutation::SetFeatures { vertex, features } => {
+                    if *vertex >= n {
+                        return Err(ServeError::InvalidTarget(*vertex));
+                    }
+                    if features.len() != feat_dim {
+                        return Err(ServeError::FeatureDimMismatch);
+                    }
+                }
+            }
+        }
+        let old_epoch = st.delta.epoch();
+        let mut dirty: Vec<u32> = Vec::new();
+        let mut applied = 0u64;
+        for m in mutations {
+            match m {
+                GraphMutation::InsertEdge { src, dst } => {
+                    if st.delta.insert_edge(*src, *dst) {
+                        dirty.push(*src);
+                        dirty.push(*dst);
+                        applied += 1;
+                    }
+                }
+                GraphMutation::InsertVertex { features } => {
+                    dirty.push(st.delta.insert_vertex(features.clone()));
+                    applied += 1;
+                }
+                GraphMutation::SetFeatures { vertex, features } => {
+                    st.delta.set_features(*vertex, features.clone());
+                    dirty.push(*vertex);
+                    applied += 1;
+                }
+            }
+        }
+        let new_epoch = st.delta.epoch();
+        if new_epoch == old_epoch {
+            return Ok(new_epoch); // every entry was a duplicate edge
+        }
+        self.shared.mutations.fetch_add(applied, Ordering::Relaxed);
+        telemetry::counter_add(&self.shared.metrics.mutations, applied);
+        telemetry::gauge_set(&self.shared.metrics.epoch, new_epoch as f64);
+        // Invalidate under the state lock so a concurrent mutation cannot
+        // interleave between the epoch bump and the keyspace walk (the
+        // cache lock nests inside the state lock here and nowhere else,
+        // so the order is deadlock-free).
+        let mut cache = lock_cache(&self.shared);
+        let depth = cache
+            .max_hops_at_epoch(old_epoch)
+            .map_or(self.shared.exact_hops, |h| {
+                (h as usize).max(self.shared.exact_hops)
+            });
+        let affected: HashSet<u32> = st
+            .delta
+            .affected_within(&dirty, depth)
+            .into_iter()
+            .collect();
+        let (evicted, _rekeyed) = cache.invalidate_mutated(old_epoch, new_epoch, &affected);
+        self.shared
+            .mutation_evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+        telemetry::counter_add(&self.shared.metrics.mutation_evictions, evicted);
+        Ok(new_epoch)
+    }
+
+    /// Fold the accumulated delta back into frozen CSR form and fold the
+    /// feature overlay into a dense matrix. Bitwise-invisible to serving:
+    /// the compacted graph is identical to the overlay view (the epoch
+    /// does not change and cached rows stay valid), extraction just stops
+    /// paying the merge overhead. In-flight snapshots keep their
+    /// pre-compaction view.
+    pub fn compact_graph(&self) {
+        let mut st = self.shared.state_write();
+        st.delta.compact();
+        let overlay = st.delta.take_feature_overlay();
+        let n = st.delta.num_vertices();
+        if !overlay.is_empty() || st.features.rows() < n {
+            let dim = st.features.cols();
+            let mut folded = Matrix::zeros(n, dim);
+            for v in 0..st.features.rows() {
+                folded.row_mut(v).copy_from_slice(st.features.row(v));
+            }
+            for (v, row) in overlay {
+                folded.row_mut(v as usize).copy_from_slice(&row);
+            }
+            st.features = Arc::new(folded);
+        }
+        self.shared.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Requests currently waiting in the queue.
     pub fn queue_depth(&self) -> usize {
         self.queue.len()
@@ -589,6 +836,7 @@ impl GnnServer {
                 cache.stale_hits(),
             )
         };
+        let epoch = self.epoch();
         ServerStats {
             completed: self.shared.completed.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
@@ -607,6 +855,11 @@ impl GnnServer {
             respawns: self.shared.respawns.load(Ordering::Relaxed),
             degraded: self.shared.degraded.load(Ordering::Relaxed),
             poison_recoveries: self.shared.poison_recoveries.load(Ordering::Relaxed),
+            mutations: self.shared.mutations.load(Ordering::Relaxed),
+            epoch,
+            mutation_evictions: self.shared.mutation_evictions.load(Ordering::Relaxed),
+            compactions: self.shared.compactions.load(Ordering::Relaxed),
+            sampled: self.shared.sampled.load(Ordering::Relaxed),
         }
     }
 
@@ -659,19 +912,34 @@ fn worker_loop(
         if batch.is_empty() {
             continue;
         }
-        // Park a salvage copy before touching the engine: if this worker
-        // dies mid-batch, the supervisor requeues from here.
-        *in_flight[slot].lock().unwrap_or_else(|p| p.into_inner()) = Some(batch.clone());
-        match process_batch(&mut engine, shared, batch) {
-            ProcessOutcome::Done => {
-                in_flight[slot]
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .take();
-            }
-            // Leave the batch parked: the supervisor salvages it.
-            ProcessOutcome::DeviceLost => return WorkerExit::DeviceLost,
+        // Group the batch by pinned epoch: each group is served against
+        // one consistent snapshot (one extraction, one forward pass).
+        // Ascending epoch order keeps same-seed replays deterministic.
+        // A never-mutated server always produces exactly one group.
+        let mut by_epoch: BTreeMap<u64, Batch> = BTreeMap::new();
+        for item in batch {
+            by_epoch.entry(item.0.view.epoch()).or_default().push(item);
         }
+        let groups: Vec<Batch> = by_epoch.into_values().collect();
+        for gi in 0..groups.len() {
+            // Park a salvage copy of every group not yet served (current
+            // included) before touching the engine: if this worker dies
+            // mid-group, the supervisor requeues exactly the requests
+            // that have not been responded to — already-served groups
+            // have left the parking spot, so salvage can't double-send.
+            *in_flight[slot].lock().unwrap_or_else(|p| p.into_inner()) =
+                Some(groups[gi..].concat());
+            match process_batch(&mut engine, shared, groups[gi].clone()) {
+                ProcessOutcome::Done => {}
+                // Leave the remaining groups parked: the supervisor
+                // salvages them.
+                ProcessOutcome::DeviceLost => return WorkerExit::DeviceLost,
+            }
+        }
+        in_flight[slot]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
     }
     WorkerExit::Drained
 }
@@ -704,12 +972,21 @@ enum ProcessOutcome {
     DeviceLost,
 }
 
+/// Serve one single-epoch batch (the worker loop groups by pinned epoch
+/// before calling). All requests share one snapshot view: one extraction,
+/// one forward pass, cache keys carry the group's epoch.
 fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> ProcessOutcome {
     let _span = telemetry::span!("serve.process_batch", requests = batch.len());
     let picked_up = Instant::now();
     let m = &shared.metrics;
     let classes = shared.net.out_dim();
     let level = shared.degradation.level();
+    let view = batch[0].0.view.clone();
+    let epoch = view.epoch();
+    debug_assert!(
+        batch.iter().all(|(p, _)| p.view.epoch() == epoch),
+        "process_batch requires a single-epoch group"
+    );
     for (p, _) in &batch {
         p.trace.push("pickup", || format!("batch={}", batch.len()));
     }
@@ -749,6 +1026,17 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
             });
         }
     }
+    // The Sampled rung: full depth, but each expanded row is capped to
+    // `sample_fanout` seeded-sampled in-neighbors. ReducedHops and above
+    // supersede it (hop truncation is the stronger measure).
+    let sampling = level == DegradationLevel::Sampled && shared.sample_fanout > 0 && hops > 0;
+    if sampling {
+        for (p, _) in &batch {
+            p.trace.push("ladder", || {
+                format!("level=sampled fanout={}", shared.sample_fanout)
+            });
+        }
+    }
 
     // Cache pass: pull every hit, collect the misses. Past-TTL entries
     // count as hits only when the ladder permits stale service.
@@ -771,6 +1059,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
                 hops: hops as u16,
                 version: shared.model_version,
                 shard: 0,
+                epoch,
             };
             match cache.get_aged(key, shared.cache_ttl, grace) {
                 Lookup::Fresh(row) => {
@@ -811,17 +1100,32 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
         let t0 = Instant::now();
         let ego = {
             let _span = telemetry::span!("serve.extract", misses = miss_targets.len(), hops = hops);
-            ego_graph(&shared.graph, &miss_targets, hops)
+            if sampling {
+                // Epoch-salted seed: the draw is deterministic per
+                // (vertex, epoch), so replays reproduce it exactly while
+                // different graph versions decorrelate.
+                view.snap.sampled_ego_graph(
+                    &miss_targets,
+                    hops,
+                    shared.sample_fanout,
+                    shared.sample_seed ^ epoch,
+                )
+            } else {
+                view.snap.ego_graph(&miss_targets, hops)
+            }
         };
-        let feat_dim = shared.features.cols();
+        let feat_dim = view.features.cols();
         let mut sub_feats = Matrix::zeros(ego.vertices.len(), feat_dim);
         for (local, &orig) in ego.vertices.iter().enumerate() {
             sub_feats
                 .row_mut(local)
-                .copy_from_slice(shared.features.row(orig as usize));
+                .copy_from_slice(view.feature_row(orig));
         }
         extract_ms = ms(t0.elapsed());
         telemetry::observe(&m.extraction_ms, extract_ms);
+        if sampling {
+            telemetry::observe(&m.sampled_extraction_ms, extract_ms);
+        }
 
         // Retry only helps requests still inside their deadlines; the
         // batch's latest deadline caps the backoff schedule.
@@ -876,26 +1180,34 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
         telemetry::trace::set_current(0);
         compute_ms = ms(t1.elapsed());
         telemetry::observe(&m.compute_ms, compute_ms);
+        if sampling {
+            telemetry::observe(&m.sampled_compute_ms, compute_ms);
+        }
 
         if let Some(out) = out {
             // Rows cache under the depth they were computed at — exact
             // for that depth, invisible to lookups at any other depth.
+            // Sampled rows are approximations and are never cached: a
+            // later healthy lookup must not inherit a degraded answer.
             let mut cache = lock_cache(shared);
             for (local, &orig) in ego.targets().iter().enumerate() {
                 if shared.chaos_panic_on_vertex == Some(orig) {
                     panic!("chaos: worker killed inserting vertex {orig}");
                 }
                 let row = out.row(local).to_vec();
-                cache.insert(
-                    CacheKey {
-                        vertex: orig,
-                        layer: shared.final_layer,
-                        hops: hops as u16,
-                        version: shared.model_version,
-                        shard: 0,
-                    },
-                    row.clone(),
-                );
+                if !sampling {
+                    cache.insert(
+                        CacheKey {
+                            vertex: orig,
+                            layer: shared.final_layer,
+                            hops: hops as u16,
+                            version: shared.model_version,
+                            shard: 0,
+                            epoch,
+                        },
+                        row.clone(),
+                    );
+                }
                 rows.insert(orig, row);
             }
             shared
@@ -950,14 +1262,22 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
             // cache-hit — is at the truncated depth; flag any request
             // that asked for more.
             reduced_hops: reduced && p.request.hops.unwrap_or(shared.exact_hops) > hops,
+            // Sampling only taints rows computed this batch; cache hits
+            // were full-fidelity when computed (sampled rows never enter
+            // the cache).
+            sampled: sampling && targets.iter().any(|t| miss_set.contains(t)),
         };
         if degraded.any() {
             shared.degraded.fetch_add(1, Ordering::Relaxed);
             telemetry::counter_add(&m.degraded, 1);
+            if degraded.sampled {
+                shared.sampled.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add(&m.sampled, 1);
+            }
             p.trace.push("degrade", || {
                 format!(
-                    "stale_cache={} reduced_hops={}",
-                    degraded.stale_cache, degraded.reduced_hops
+                    "stale_cache={} reduced_hops={} sampled={}",
+                    degraded.stale_cache, degraded.reduced_hops, degraded.sampled
                 )
             });
         }
@@ -975,6 +1295,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
             outputs,
             timing,
             degraded,
+            epoch,
             trace,
         }));
     }
@@ -1213,7 +1534,7 @@ mod tests {
         freeze_ladder(&mut cfg);
         let server = small_server_with(cfg);
         settle(&server);
-        server.shared.degradation.update(0.8, 0.0);
+        server.shared.degradation.update(0.9, 0.0);
         assert_eq!(server.degradation_level(), DegradationLevel::ReducedHops);
         let r = server
             .submit(Request::new(vec![8]))
@@ -1235,6 +1556,152 @@ mod tests {
             stats.computed_targets, 2,
             "full-depth lookup must not see the truncated row"
         );
+    }
+
+    #[test]
+    fn sampled_rung_flags_responses_and_never_caches() {
+        let mut cfg = small_config(64);
+        cfg.sample_fanout = 2; // rmat rows routinely exceed this
+        freeze_ladder(&mut cfg);
+        let server = small_server_with(cfg);
+        settle(&server);
+        server.shared.degradation.update(0.75, 0.0);
+        assert_eq!(server.degradation_level(), DegradationLevel::Sampled);
+        let r = server
+            .submit(Request::new(vec![8]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(r.degraded.sampled, "sampled rows must be flagged");
+        assert!(!r.degraded.reduced_hops, "sampling keeps full depth");
+        // Back at Normal the same vertex must be recomputed: the sampled
+        // row never entered the cache.
+        server.shared.degradation.update(0.0, 0.0);
+        let full = server
+            .submit(Request::new(vec![8]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!full.degraded.any());
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.computed_targets, 2,
+            "a sampled row must not satisfy a healthy lookup"
+        );
+        assert!(stats.sampled >= 1);
+        assert!(stats.degraded >= 1);
+    }
+
+    #[test]
+    fn sampled_service_is_same_seed_deterministic() {
+        let serve_once = || {
+            let mut cfg = small_config(64);
+            cfg.sample_fanout = 2;
+            freeze_ladder(&mut cfg);
+            let server = small_server_with(cfg);
+            settle(&server);
+            server.shared.degradation.update(0.75, 0.0);
+            let r = server
+                .submit(Request::new(vec![13, 29]))
+                .unwrap()
+                .wait()
+                .unwrap();
+            server.shutdown();
+            r
+        };
+        let (a, b) = (serve_once(), serve_once());
+        assert!(a.degraded.sampled && b.degraded.sampled);
+        assert_eq!(
+            a.outputs.data(),
+            b.outputs.data(),
+            "same seed, same epoch: the sampled draw must be bitwise stable"
+        );
+    }
+
+    #[test]
+    fn mutations_bump_epoch_and_new_vertices_are_servable() {
+        let server = small_server(64);
+        let before = server
+            .submit(Request::new(vec![3]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(before.epoch, 0, "frozen graph serves at epoch 0");
+        let n0 = server.num_vertices();
+        let epoch = server
+            .mutate(&[
+                GraphMutation::InsertVertex {
+                    features: vec![0.25; 8],
+                },
+                GraphMutation::InsertEdge {
+                    src: 3,
+                    dst: n0 as u32,
+                },
+            ])
+            .unwrap();
+        assert_eq!(epoch, 2, "one epoch per accepted mutation");
+        assert_eq!(server.epoch(), 2);
+        assert_eq!(server.num_vertices(), n0 + 1);
+        // The appended vertex serves through the delta overlay...
+        let r = server
+            .submit(Request::new(vec![n0 as u32]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r.epoch, 2);
+        assert!(!r.degraded.any());
+        // ...and identically after compaction (same logical graph, same
+        // epoch, so the cached row may legitimately be reused).
+        server.compact_graph();
+        assert_eq!(server.epoch(), 2, "compaction must not bump the epoch");
+        let rc = server
+            .submit(Request::new(vec![n0 as u32]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(rc.outputs.data(), r.outputs.data());
+        let stats = server.shutdown();
+        assert_eq!(stats.mutations, 2);
+        assert_eq!(stats.epoch, 2);
+        assert_eq!(stats.compactions, 1);
+    }
+
+    #[test]
+    fn mutation_batches_validate_atomically() {
+        let server = small_server(16);
+        let n = server.num_vertices() as u32;
+        // Second entry is invalid: the whole batch must be rejected...
+        let err = server
+            .mutate(&[
+                GraphMutation::InsertEdge { src: 0, dst: 1 },
+                GraphMutation::InsertEdge { src: n + 7, dst: 0 },
+            ])
+            .unwrap_err();
+        assert_eq!(err, ServeError::InvalidTarget(n + 7));
+        assert_eq!(server.epoch(), 0, "rejected batch burns no epoch");
+        // ...as is a feature row of the wrong width.
+        let err = server
+            .mutate(&[GraphMutation::InsertVertex {
+                features: vec![1.0; 3],
+            }])
+            .unwrap_err();
+        assert_eq!(err, ServeError::FeatureDimMismatch);
+        // Intra-batch references resolve against the simulated size.
+        let epoch = server
+            .mutate(&[
+                GraphMutation::InsertVertex {
+                    features: vec![0.5; 8],
+                },
+                GraphMutation::InsertEdge { src: n, dst: 0 },
+                GraphMutation::SetFeatures {
+                    vertex: n,
+                    features: vec![1.5; 8],
+                },
+            ])
+            .unwrap();
+        assert_eq!(epoch, 3);
+        let stats = server.shutdown();
+        assert_eq!(stats.mutations, 3);
     }
 
     #[test]

@@ -410,15 +410,17 @@ impl ShardedServer {
             trace: trace.clone(),
             tx,
         };
-        match self.queues[shard].push(pending) {
-            Ok(depth) => {
-                telemetry::gauge_set(&self.shared.names.shard[shard].load, depth as f64);
-                trace.push("enqueue", || format!("depth={depth}"));
-                Ok(ResponseHandle::new(
-                    rx,
-                    Arc::clone(&self.shared.shutting_down),
-                ))
-            }
+        // `enqueue` is recorded under the queue lock so it is ordered
+        // before any worker-side event for this request (see
+        // `Batcher::push_with`).
+        match self.queues[shard].push_with(pending, |depth| {
+            telemetry::gauge_set(&self.shared.names.shard[shard].load, depth as f64);
+            trace.push("enqueue", || format!("depth={depth}"));
+        }) {
+            Ok(_) => Ok(ResponseHandle::new(
+                rx,
+                Arc::clone(&self.shared.shutting_down),
+            )),
             Err(PushError::Full(_)) => {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter_add(&self.shared.names.rejected, 1);
@@ -610,6 +612,10 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, shard: usize, batch
                 hops: hops as u16,
                 version: shared.model_version,
                 shard: shard as u16,
+                // The sharded tier serves a frozen partitioned graph:
+                // everything lives at epoch 0 (mutations go through the
+                // single-device `GnnServer`).
+                epoch: 0,
             };
             match cache.get(key) {
                 Some(row) => {
@@ -698,6 +704,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, shard: usize, batch
                             hops: hops as u16,
                             version: shared.model_version,
                             shard: shard as u16,
+                            epoch: 0,
                         },
                         row.clone(),
                     );
@@ -763,6 +770,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, shard: usize, batch
             outputs,
             timing,
             degraded: Degradation::default(),
+            epoch: 0,
             trace,
         }));
     }

@@ -1,0 +1,158 @@
+//! Property tests of k-hop-neighborhood cache invalidation under
+//! mutation, against an independent receptive-field oracle:
+//!
+//! * **soundness** — after a mutation, no cached row whose receptive
+//!   field intersects the dirty set is ever served (such a hit would be
+//!   an unflagged stale answer);
+//! * **precision** — vertices whose receptive field is untouched keep
+//!   their entries (no over-invalidation: they must serve as cache hits
+//!   without recomputation).
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tlpgnn::{GnnModel, GnnNetwork};
+use tlpgnn_graph::{subgraph, Csr, GraphBuilder};
+use tlpgnn_serve::{GnnServer, GraphMutation, Request, ServeConfig};
+use tlpgnn_tensor::Matrix;
+
+const DIM: usize = 4;
+
+type Case = ((usize, Vec<(u32, u32)>), Vec<(u8, u32, u32)>);
+
+fn arb_case(max_n: usize, max_m: usize, max_muts: usize) -> impl Strategy<Value = Case> {
+    let base = (4usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..max_m).prop_map(move |e| (n, e))
+    });
+    let muts = proptest::collection::vec((0u8..4, any::<u32>(), any::<u32>()), 1..max_muts);
+    (base, muts)
+}
+
+fn feat_row(v: usize) -> Vec<f32> {
+    (0..DIM)
+        .map(|j| ((v * DIM + j) as f32) * 0.01 - 0.2)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(14))]
+
+    /// Populate the cache for every vertex, mutate once, re-query every
+    /// pre-mutation vertex: affected ones recompute, untouched ones hit.
+    #[test]
+    fn invalidation_is_sound_and_precise(((bn, bedges), raw_muts) in arb_case(20, 70, 5)) {
+        let mut b = GraphBuilder::new(bn);
+        b.extend(bedges.iter().copied());
+        let base = b.build();
+
+        let mut cfg = ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::from_millis(1),
+            cache_capacity: 4096,
+            metrics_prefix: "serve.test.invalidation".to_string(),
+            ..ServeConfig::default()
+        };
+        cfg.supervisor.monitor_interval = Duration::from_secs(3600);
+        let mut flat = Vec::new();
+        for v in 0..bn {
+            flat.extend_from_slice(&feat_row(v));
+        }
+        let net = GnnNetwork::two_layer(|_| GnnModel::Gin { eps: 0.1 }, DIM, 6, 3, 17);
+        let server = GnnServer::start(cfg, base.clone(), Matrix::from_vec(bn, DIM, flat), net);
+        let hops = server.exact_hops();
+
+        // Fill the cache: one row per vertex at epoch 0.
+        for t in 0..bn as u32 {
+            let r = server.submit(Request::new(vec![t])).unwrap().wait().unwrap();
+            prop_assert_eq!(r.epoch, 0);
+        }
+
+        // One mutation batch; mirror the dirty set and the edge list.
+        let mut edges: Vec<(u32, u32)> = base.edge_iter().map(|(s, d)| (d, s)).collect();
+        let mut present: HashSet<(u32, u32)> = base.edge_iter().collect();
+        let mut n = bn as u32;
+        let mut dirty: HashSet<u32> = HashSet::new();
+        let mut muts: Vec<GraphMutation> = Vec::new();
+        for &(k, a, b) in &raw_muts {
+            match k {
+                0 | 1 => {
+                    let (src, dst) = (a % n, b % n);
+                    muts.push(GraphMutation::InsertEdge { src, dst });
+                    if present.insert((src, dst)) {
+                        edges.push((dst, src));
+                        dirty.insert(src);
+                        dirty.insert(dst);
+                    }
+                }
+                2 => {
+                    muts.push(GraphMutation::InsertVertex { features: feat_row(n as usize) });
+                    dirty.insert(n);
+                    n += 1;
+                }
+                _ => {
+                    let v = a % n;
+                    muts.push(GraphMutation::SetFeatures {
+                        vertex: v,
+                        features: (0..DIM).map(|j| (j as f32) * 0.07 + 1.0).collect(),
+                    });
+                    dirty.insert(v);
+                }
+            }
+        }
+        let new_epoch = server.mutate(&muts).unwrap();
+        if dirty.is_empty() {
+            // Every entry was a duplicate edge: nothing may be evicted.
+            prop_assert_eq!(new_epoch, 0);
+            let s0 = server.stats();
+            prop_assert_eq!(s0.mutation_evictions, 0);
+            for t in 0..bn as u32 {
+                let before = server.stats().computed_targets;
+                server.submit(Request::new(vec![t])).unwrap().wait().unwrap();
+                prop_assert_eq!(server.stats().computed_targets, before, "vertex {} must stay cached", t);
+            }
+            server.shutdown();
+            return;
+        }
+
+        // Independent oracle: t is affected iff its receptive field on
+        // the *post-mutation* graph contains a dirty vertex.
+        let new_g = {
+            let mut indptr = vec![0u32; n as usize + 1];
+            let mut es = edges.clone();
+            es.sort_unstable();
+            for &(dst, _) in &es {
+                indptr[dst as usize + 1] += 1;
+            }
+            for i in 1..=n as usize {
+                indptr[i] += indptr[i - 1];
+            }
+            Csr::new(n as usize, indptr, es.into_iter().map(|(_, s)| s).collect())
+        };
+
+        for t in 0..bn as u32 {
+            let ego = subgraph::ego_graph(&new_g, &[t], hops);
+            let affected = ego.vertices.iter().any(|v| dirty.contains(v));
+            let before = server.stats().computed_targets;
+            let r = server.submit(Request::new(vec![t])).unwrap().wait().unwrap();
+            prop_assert_eq!(r.epoch, new_epoch);
+            prop_assert!(!r.degraded.any());
+            let after = server.stats().computed_targets;
+            if affected {
+                prop_assert_eq!(
+                    after, before + 1,
+                    "vertex {} intersects the dirty set: serving its old \
+                     cached row would be an unflagged stale answer", t
+                );
+            } else {
+                prop_assert_eq!(
+                    after, before,
+                    "vertex {}'s receptive field is untouched: evicting it \
+                     is over-invalidation", t
+                );
+            }
+        }
+        server.shutdown();
+    }
+}

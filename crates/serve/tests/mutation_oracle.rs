@@ -1,0 +1,291 @@
+//! The mutation-oracle test layer: randomized interleaved mutate/query
+//! schedules against a live server, where every response must be
+//! **bitwise-equal** to a fresh `ego_graph` + fused-engine run on the
+//! independently materialized graph at the response's pinned epoch.
+//!
+//! Two configurations close the loop:
+//! * cache **on**, single-target queries — exercises epoch-keyed caching,
+//!   receptive-field invalidation, and entry re-keying (a wrong eviction
+//!   set or a stale re-key shows up as a bitwise mismatch);
+//! * cache **off**, multi-target queries — exercises the raw
+//!   snapshot-extraction path with batched target sets.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use gpu_sim::DeviceConfig;
+use proptest::prelude::*;
+use tlpgnn::{EngineOptions, GnnModel, GnnNetwork, TlpgnnEngine};
+use tlpgnn_graph::{subgraph, Csr, GraphBuilder};
+use tlpgnn_serve::{GnnServer, GraphMutation, Request, ServeConfig};
+use tlpgnn_tensor::Matrix;
+
+const DIM: usize = 4;
+
+/// One step of an interleaved schedule. Raw operands reduce modulo the
+/// *current* vertex count at apply time.
+#[derive(Debug, Clone)]
+enum Step {
+    Query(u32),
+    InsertEdge(u32, u32),
+    InsertVertex,
+    SetFeatures(u32),
+    Compact,
+}
+
+type Sched = ((usize, Vec<(u32, u32)>), Vec<Step>);
+
+fn arb_schedule(max_n: usize, max_m: usize, max_steps: usize) -> impl Strategy<Value = Sched> {
+    let base = (3usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..max_m).prop_map(move |e| (n, e))
+    });
+    let step = (0u8..12, any::<u32>(), any::<u32>()).prop_map(|(k, a, b)| match k {
+        0..=4 => Step::Query(a),
+        5..=7 => Step::InsertEdge(a, b),
+        8..=9 => Step::InsertVertex,
+        10 => Step::SetFeatures(a),
+        _ => Step::Compact,
+    });
+    (base, proptest::collection::vec(step, 1..max_steps))
+}
+
+/// Independent CSR packer over a `(dst, src)` edge list — shares no code
+/// with the server's delta overlay.
+fn pack(n: usize, mut edges: Vec<(u32, u32)>) -> Csr {
+    edges.sort_unstable();
+    let mut indptr = vec![0u32; n + 1];
+    for &(dst, _) in &edges {
+        indptr[dst as usize + 1] += 1;
+    }
+    for i in 1..=n {
+        indptr[i] += indptr[i - 1];
+    }
+    let indices: Vec<u32> = edges.into_iter().map(|(_, src)| src).collect();
+    Csr::new(n, indptr, indices)
+}
+
+/// Deterministic feature row for vertex `v` (mirrored on both sides).
+fn feat_row(v: usize) -> Vec<f32> {
+    (0..DIM)
+        .map(|j| ((v * DIM + j) as f32) * 0.01 - 0.3)
+        .collect()
+}
+
+/// Shadow model of the server's graph: plain edge list + membership set
+/// + feature rows + accepted-mutation counter.
+struct Mirror {
+    n: usize,
+    edges: Vec<(u32, u32)>,       // (dst, src)
+    present: HashSet<(u32, u32)>, // (src, dst)
+    feats: Vec<Vec<f32>>,
+    epoch: u64,
+    setfeat_serial: u32,
+}
+
+impl Mirror {
+    fn new(base: &Csr) -> Self {
+        let edges: Vec<(u32, u32)> = base.edge_iter().map(|(src, dst)| (dst, src)).collect();
+        let present = base.edge_iter().collect();
+        let n = base.num_vertices();
+        Self {
+            n,
+            edges,
+            present,
+            feats: (0..n).map(feat_row).collect(),
+            epoch: 0,
+            setfeat_serial: 0,
+        }
+    }
+
+    fn features(&self) -> Matrix {
+        let mut flat = Vec::with_capacity(self.n * DIM);
+        for row in &self.feats {
+            flat.extend_from_slice(row);
+        }
+        Matrix::from_vec(self.n, DIM, flat)
+    }
+
+    fn graph(&self) -> Csr {
+        pack(self.n, self.edges.clone())
+    }
+}
+
+fn start_server(base: &Csr, cache_capacity: usize, max_batch: usize) -> GnnServer {
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch,
+        max_wait: Duration::from_millis(1),
+        cache_capacity,
+        metrics_prefix: format!("serve.test.oracle.{cache_capacity}.{max_batch}"),
+        ..ServeConfig::default()
+    };
+    let mut cfg = cfg;
+    // Freeze the degradation monitor so every response is full-fidelity.
+    cfg.supervisor.monitor_interval = Duration::from_secs(3600);
+    let n = base.num_vertices();
+    let mut flat = Vec::with_capacity(n * DIM);
+    for v in 0..n {
+        flat.extend_from_slice(&feat_row(v));
+    }
+    GnnServer::start(
+        cfg,
+        base.clone(),
+        Matrix::from_vec(n, DIM, flat),
+        test_net(),
+    )
+}
+
+fn test_net() -> GnnNetwork {
+    GnnNetwork::two_layer(|_| GnnModel::Gin { eps: 0.1 }, DIM, 6, 3, 91)
+}
+
+/// Fresh extraction + fused-engine forward on the materialized graph:
+/// returns one output row per entry of `targets` (duplicates included).
+fn oracle_rows(mirror: &Mirror, targets: &[u32], hops: usize) -> Vec<Vec<f32>> {
+    let g = mirror.graph();
+    let x = mirror.features();
+    // First-occurrence dedup, exactly like the server's batch assembly.
+    let mut uniq: Vec<u32> = Vec::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    for &t in targets {
+        if seen.insert(t) {
+            uniq.push(t);
+        }
+    }
+    let ego = subgraph::ego_graph(&g, &uniq, hops);
+    let mut sub = Matrix::zeros(ego.vertices.len(), DIM);
+    for (local, &orig) in ego.vertices.iter().enumerate() {
+        sub.row_mut(local).copy_from_slice(x.row(orig as usize));
+    }
+    let mut engine = TlpgnnEngine::new(DeviceConfig::test_small(), EngineOptions::default());
+    let (out, _) = engine.classify_forward(&test_net(), &ego.csr, &sub);
+    targets
+        .iter()
+        .map(|t| {
+            let local = uniq.iter().position(|u| u == t).unwrap();
+            out.row(local).to_vec()
+        })
+        .collect()
+}
+
+fn bits(row: &[f32]) -> Vec<u32> {
+    row.iter().map(|f| f.to_bits()).collect()
+}
+
+/// Drive one schedule against a live server and its mirror, asserting
+/// the bitwise oracle on every query. `multi` switches between
+/// single-target queries (cache on) and multi-target ones (cache off).
+fn run_schedule(((bn, bedges), steps): Sched, cache_capacity: usize, multi: bool) {
+    let mut b = GraphBuilder::new(bn);
+    b.extend(bedges.iter().copied());
+    let base = b.build();
+    let server = start_server(&base, cache_capacity, if multi { 4 } else { 1 });
+    let hops = server.exact_hops();
+    let mut mirror = Mirror::new(&base);
+
+    for step in &steps {
+        let n = mirror.n as u32;
+        match step {
+            Step::Query(a) => {
+                let targets = if multi {
+                    vec![a % n, (a / 7) % n, a % n] // duplicates on purpose
+                } else {
+                    vec![a % n]
+                };
+                let resp = server
+                    .submit(Request::new(targets.clone()))
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+                prop_assert_eq!(
+                    resp.epoch,
+                    mirror.epoch,
+                    "response pins the epoch current at submission"
+                );
+                prop_assert!(!resp.degraded.any(), "healthy server: full fidelity");
+                let want = oracle_rows(&mirror, &targets, hops);
+                for (i, row) in want.iter().enumerate() {
+                    prop_assert_eq!(
+                        bits(resp.outputs.row(i)),
+                        bits(row),
+                        "target {} at epoch {} diverges from the fresh \
+                         ego+engine oracle on the materialized graph",
+                        targets[i],
+                        mirror.epoch
+                    );
+                }
+            }
+            Step::InsertEdge(a, b) => {
+                let (src, dst) = (a % n, b % n);
+                let epoch = server
+                    .mutate(&[GraphMutation::InsertEdge { src, dst }])
+                    .unwrap();
+                if mirror.present.insert((src, dst)) {
+                    mirror.edges.push((dst, src));
+                    mirror.epoch += 1;
+                }
+                prop_assert_eq!(epoch, mirror.epoch, "duplicate inserts burn no epoch");
+            }
+            Step::InsertVertex => {
+                let row = feat_row(mirror.n);
+                let epoch = server
+                    .mutate(&[GraphMutation::InsertVertex {
+                        features: row.clone(),
+                    }])
+                    .unwrap();
+                mirror.feats.push(row);
+                mirror.n += 1;
+                mirror.epoch += 1;
+                prop_assert_eq!(epoch, mirror.epoch);
+                prop_assert_eq!(server.num_vertices(), mirror.n);
+            }
+            Step::SetFeatures(a) => {
+                let v = a % n;
+                mirror.setfeat_serial += 1;
+                let row: Vec<f32> = (0..DIM)
+                    .map(|j| ((mirror.setfeat_serial as usize * DIM + j) as f32) * 0.02)
+                    .collect();
+                let epoch = server
+                    .mutate(&[GraphMutation::SetFeatures {
+                        vertex: v,
+                        features: row.clone(),
+                    }])
+                    .unwrap();
+                mirror.feats[v as usize] = row;
+                mirror.epoch += 1;
+                prop_assert_eq!(epoch, mirror.epoch);
+            }
+            Step::Compact => {
+                server.compact_graph();
+                prop_assert_eq!(
+                    server.epoch(),
+                    mirror.epoch,
+                    "compaction must not change the logical graph"
+                );
+            }
+        }
+    }
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Cache ON, single-target queries: every answer — computed, cached,
+    /// or re-keyed across a mutation — is bitwise the oracle's.
+    #[test]
+    fn cached_serving_matches_fresh_oracle_at_every_epoch(
+        sched in arb_schedule(18, 60, 22)
+    ) {
+        run_schedule(sched, 512, false);
+    }
+
+    /// Cache OFF, multi-target queries with duplicates: the raw
+    /// snapshot-extraction path matches the oracle batch-for-batch.
+    #[test]
+    fn uncached_batched_serving_matches_fresh_oracle(
+        sched in arb_schedule(18, 60, 16)
+    ) {
+        run_schedule(sched, 0, true);
+    }
+}

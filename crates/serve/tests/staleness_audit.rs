@@ -1,0 +1,182 @@
+//! Regression tests for latent frozen-graph assumptions: every place the
+//! serving tier captures `num_vertices()` / `num_edges()` must read the
+//! *live* value (or be explicitly pinned to a snapshot) now that the
+//! graph mutates under it.
+//!
+//! The audit found three classes of sites:
+//! * `GnnServer::submit` target validation — must track vertex growth;
+//! * worker extraction — must use the snapshot pinned at submission,
+//!   never the startup graph;
+//! * the sharded tier — intentionally frozen (its shard plan partitions
+//!   a fixed vertex set), which the epoch field makes explicit.
+
+use std::time::Duration;
+
+use tlpgnn::{GnnModel, GnnNetwork};
+use tlpgnn_graph::generators;
+use tlpgnn_serve::{
+    GnnServer, GraphMutation, Request, ServeConfig, ServeError, ShardedConfig, ShardedServer,
+};
+use tlpgnn_tensor::Matrix;
+
+const N: usize = 150;
+const DIM: usize = 8;
+
+fn server(prefix: &str) -> GnnServer {
+    let g = generators::rmat_default(N, 900, 23);
+    let x = Matrix::random(N, DIM, 1.0, 29);
+    let net = GnnNetwork::two_layer(|_| GnnModel::Gin { eps: 0.1 }, DIM, 8, 4, 31);
+    let mut cfg = ServeConfig {
+        workers: 1,
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        cache_capacity: 256,
+        metrics_prefix: format!("serve.test.audit.{prefix}"),
+        ..ServeConfig::default()
+    };
+    cfg.supervisor.monitor_interval = Duration::from_secs(3600);
+    GnnServer::start(cfg, g, x, net)
+}
+
+/// `submit` must validate targets against the live vertex count: a
+/// startup-captured `n` would reject vertices appended after start.
+#[test]
+fn submit_validates_against_live_vertex_count() {
+    let server = server("live_n");
+    let fresh = N as u32;
+    assert_eq!(
+        server.submit(Request::new(vec![fresh])).unwrap_err(),
+        ServeError::InvalidTarget(fresh),
+        "vertex {fresh} does not exist yet"
+    );
+    server
+        .mutate(&[GraphMutation::InsertVertex {
+            features: vec![0.5; DIM],
+        }])
+        .unwrap();
+    assert_eq!(server.num_vertices(), N + 1);
+    let resp = server
+        .submit(Request::new(vec![fresh]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(resp.outputs.shape(), (1, 4));
+    assert!(!resp.degraded.any());
+    // One past the new end is still invalid.
+    assert_eq!(
+        server.submit(Request::new(vec![fresh + 1])).unwrap_err(),
+        ServeError::InvalidTarget(fresh + 1)
+    );
+    server.shutdown();
+}
+
+/// A request submitted before a mutation serves the graph it was
+/// submitted against: the response's epoch (and its rows) come from the
+/// snapshot pinned in `submit`, not from whatever the writer did while
+/// the request sat in the queue.
+#[test]
+fn queued_requests_serve_their_pinned_epoch() {
+    let g = generators::rmat_default(N, 900, 23);
+    let x = Matrix::random(N, DIM, 1.0, 29);
+    let net = GnnNetwork::two_layer(|_| GnnModel::Gin { eps: 0.1 }, DIM, 8, 4, 31);
+    let mut cfg = ServeConfig {
+        workers: 1,
+        max_batch: 64,
+        // A long flush window: the mutation lands while the request is
+        // still queued.
+        max_wait: Duration::from_millis(150),
+        cache_capacity: 0,
+        metrics_prefix: "serve.test.audit.pinned".to_string(),
+        ..ServeConfig::default()
+    };
+    cfg.supervisor.monitor_interval = Duration::from_secs(3600);
+    let server = GnnServer::start(cfg, g, x, net);
+
+    let handle = server.submit(Request::new(vec![7])).unwrap();
+    // Rewire vertex 7's neighborhood while the request waits.
+    let epoch = server
+        .mutate(&[GraphMutation::SetFeatures {
+            vertex: 7,
+            features: vec![9.0; DIM],
+        }])
+        .unwrap();
+    assert_eq!(epoch, 1);
+    let pinned = handle.wait().unwrap();
+    assert_eq!(
+        pinned.epoch, 0,
+        "the response must come from the snapshot current at submission"
+    );
+    // A request submitted now sees the new epoch — and different rows,
+    // since its target's own features changed.
+    let after = server
+        .submit(Request::new(vec![7]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(after.epoch, 1);
+    assert_ne!(
+        pinned.outputs.row(0),
+        after.outputs.row(0),
+        "the feature rewrite must be visible to post-mutation requests"
+    );
+    server.shutdown();
+}
+
+/// Appended vertices serve identically through the delta overlay and
+/// after compaction folds them into the CSR (and the feature matrix).
+#[test]
+fn appended_vertices_serve_identically_across_compaction() {
+    let server = server("compaction");
+    let v = N as u32;
+    server
+        .mutate(&[
+            GraphMutation::InsertVertex {
+                features: vec![0.25; DIM],
+            },
+            GraphMutation::InsertEdge { src: 3, dst: v },
+            GraphMutation::InsertEdge { src: v, dst: 5 },
+        ])
+        .unwrap();
+    let overlay = server
+        .submit(Request::new(vec![v, 5]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    server.compact_graph();
+    assert_eq!(server.epoch(), 3, "compaction preserves the epoch");
+    let compacted = server
+        .submit(Request::new(vec![v, 5]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        overlay.outputs.data(),
+        compacted.outputs.data(),
+        "compaction must be bitwise-invisible to serving"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.compactions, 1);
+}
+
+/// The sharded tier's frozen-graph contract is explicit: every response
+/// is stamped epoch 0 (its shard plan partitions a fixed vertex set;
+/// mutations go through the single-device server).
+#[test]
+fn sharded_tier_is_pinned_at_epoch_zero() {
+    let g = generators::rmat_default(N, 900, 23);
+    let x = Matrix::random(N, DIM, 1.0, 29);
+    let net = GnnNetwork::two_layer(|_| GnnModel::Gin { eps: 0.1 }, DIM, 8, 4, 31);
+    let cfg = ShardedConfig {
+        shards: 2,
+        metrics_prefix: "serve.test.audit.sharded".to_string(),
+        ..ShardedConfig::default()
+    };
+    let server = ShardedServer::start(cfg, g, x, net);
+    let resp = server
+        .submit(Request::new(vec![1, 140]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(resp.epoch, 0, "sharded serving is frozen at epoch 0");
+    server.shutdown();
+}
