@@ -121,4 +121,27 @@ awk -v on="${rps_on}" -v off="${rps_off}" 'BEGIN {
 #    byte-identical to the committed snapshot.
 echo "${bench_baseline_sha}" | sha256sum --check --quiet -
 
+echo "=== perf report ==="
+# Hardware-counter-grade attribution over the full 30-workload suite:
+# every workload's roofline classification (recomputed from raw per-SM
+# accounting) must agree with the cost model's stored limiter — the
+# binary exits non-zero on any disagreement — and results/roofline.json
+# is written for dashboards (schema pinned by the perfgate golden test).
+./target/release/perf_report | tee results/perf_report_summary.txt
+wall_on="$(awk -F= '/^perf_report: suite_wall_ms=/ {print $2; exit}' results/perf_report_summary.txt)"
+# Profiler overhead: the fully-instrumented suite run must stay within
+# the same generous 3x band of a run with the collector and the scope
+# profiler both disabled (catches pathological overhead, not noise).
+TLPGNN_TELEMETRY=0 TLPGNN_PROF=0 ./target/release/perf_report | tee results/perf_report_off.txt
+wall_off="$(awk -F= '/^perf_report: suite_wall_ms=/ {print $2; exit}' results/perf_report_off.txt)"
+awk -v on="${wall_on}" -v off="${wall_off}" 'BEGIN {
+  if (on <= 0 || off <= 0 || on > off * 3 || off > on * 3) {
+    printf "perf report: profiling overhead parity violated (on %s ms vs off %s ms)\n", on, off
+    exit 1
+  }
+}'
+# Profiling (on or off) must never perturb the gated numbers: the
+# committed BENCH_<seq>.json baseline is still byte-identical.
+echo "${bench_baseline_sha}" | sha256sum --check --quiet -
+
 echo "ci: all green"

@@ -144,8 +144,11 @@ impl Table {
 ///   summaries (p50/p90/p99), diffable with the `telemetry-diff` tool.
 /// * `<name>.events.jsonl` — flat span/kernel event log, one JSON per
 ///   line, for ad-hoc scripting.
-/// * `<name>.folded.txt` — folded stacks over the recorded spans; feed
-///   to `flamegraph.pl` or drop into speedscope for a flame graph.
+/// * `<name>.folded.txt` — folded stacks over the recorded spans (self
+///   time); feed to `flamegraph.pl` or drop into speedscope for a flame
+///   graph.
+/// * `<name>.folded_total.txt` — the cumulative (inclusive-time) variant
+///   of the folded stacks, for "how expensive is this subtree" reading.
 pub struct TelemetryScope {
     name: String,
     dir: std::path::PathBuf,
@@ -179,17 +182,20 @@ impl Drop for TelemetryScope {
         let metrics = self.dir.join(format!("{}.metrics.json", self.name));
         let events = self.dir.join(format!("{}.events.jsonl", self.name));
         let folded = self.dir.join(format!("{}.folded.txt", self.name));
+        let folded_total = self.dir.join(format!("{}.folded_total.txt", self.name));
         let r = telemetry::export::write_chrome_trace(c, &trace)
             .and_then(|()| telemetry::export::write_metrics_json(c, &metrics))
             .and_then(|()| telemetry::export::write_events_jsonl(c, &events))
-            .and_then(|()| telemetry::export::write_folded_stacks(c, &folded));
+            .and_then(|()| telemetry::export::write_folded_stacks(c, &folded))
+            .and_then(|()| telemetry::export::write_folded_stacks_cumulative(c, &folded_total));
         match r {
             Ok(()) => eprintln!(
-                "telemetry: wrote {}, {}, {}, {}",
+                "telemetry: wrote {}, {}, {}, {}, {}",
                 trace.display(),
                 metrics.display(),
                 events.display(),
-                folded.display()
+                folded.display(),
+                folded_total.display()
             ),
             Err(e) => eprintln!("telemetry: export failed: {e}"),
         }

@@ -207,11 +207,16 @@ impl NativeEngine {
             model = model.name(),
             vertices = g.num_vertices()
         );
+        let _prof = telemetry::prof::scope("native.conv");
         assert_eq!(g.num_vertices(), x.rows(), "graph/feature mismatch");
         let n = g.num_vertices();
         let f = x.cols();
-        let rc = RowComputer::new(model, g, x);
+        let rc = {
+            let _p = telemetry::prof::scope("native.prepare");
+            RowComputer::new(model, g, x)
+        };
         let mut out = Matrix::zeros(n, f);
+        let _p = telemetry::prof::scope("native.aggregate");
         match self.schedule {
             NativeSchedule::Static => {
                 out.data_mut()

@@ -24,6 +24,9 @@ pub struct SectorCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    /// Misses that displaced a valid resident sector (capacity/conflict
+    /// pressure); cold misses into an empty way are not evictions.
+    evictions: u64,
 }
 
 impl SectorCache {
@@ -38,6 +41,7 @@ impl SectorCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -57,15 +61,20 @@ impl SectorCache {
         // Evict LRU way.
         let mut victim = 0;
         let mut oldest = u64::MAX;
+        let mut found_empty = false;
         for w in 0..WAYS {
             if self.tags[base + w] == u64::MAX {
                 victim = w;
+                found_empty = true;
                 break;
             }
             if self.stamps[base + w] < oldest {
                 oldest = self.stamps[base + w];
                 victim = w;
             }
+        }
+        if !found_empty {
+            self.evictions += 1;
         }
         self.tags[base + victim] = sector;
         self.stamps[base + victim] = self.clock;
@@ -101,6 +110,11 @@ impl SectorCache {
         self.misses
     }
 
+    /// Misses that displaced a valid resident sector.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Hit rate in `[0, 1]`; zero if never accessed.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -118,6 +132,7 @@ impl SectorCache {
         self.clock = 0;
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
     }
 }
 
@@ -200,6 +215,11 @@ mod tests {
         }
         assert!(!c.probe(0), "LRU victim should be evicted");
         assert!(c.probe(16));
+        // Four cold fills into empty ways, then one true eviction.
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.misses(), 5);
+        c.reset();
+        assert_eq!(c.evictions(), 0);
     }
 
     #[test]

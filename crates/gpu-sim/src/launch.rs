@@ -53,6 +53,7 @@ use telemetry::{BlockSlice, KernelSample, SimKernelTimeline, SmTimeline, MAX_BLO
 use crate::cache::{SectorCache, SharedCache};
 use crate::config::{DeviceConfig, WARP_SIZE};
 use crate::fault::{FaultEvent, FaultKind, LaunchError};
+use crate::hw::HwCounters;
 use crate::kernel::{Kernel, LaunchConfig};
 use crate::mem::DeviceMemory;
 use crate::profile::{Accounting, KernelProfile, LimiterBreakdown, SmAccounting};
@@ -74,6 +75,8 @@ struct BlockCost {
 struct WorkerResult {
     stats: WarpStats,
     blocks: Vec<BlockCost>,
+    /// Evictions observed in this worker's private L1 model.
+    l1_evictions: u64,
 }
 
 /// Fraction of a block's ramp-down tail (slot-cycles between a warp's
@@ -277,6 +280,7 @@ impl Device {
                 warps_per_block,
                 WarpStats::default(),
                 Vec::new(),
+                0,
             );
         }
 
@@ -306,6 +310,7 @@ impl Device {
                 let mut res = WorkerResult {
                     stats: WarpStats::default(),
                     blocks: Vec::with_capacity(grid / workers + 1),
+                    l1_evictions: 0,
                 };
                 let mut shared = vec![0.0f32; shared_f32];
                 let mut block = worker;
@@ -341,21 +346,24 @@ impl Device {
                     res.blocks.push(bc);
                     block += workers;
                 }
+                res.l1_evictions = l1.evictions();
                 res
             })
             .collect();
 
         let mut total = WarpStats::default();
         let mut blocks: Vec<BlockCost> = Vec::with_capacity(grid);
+        let mut l1_evictions = 0u64;
         for r in results {
             total.merge(&r.stats);
             blocks.extend(r.blocks);
+            l1_evictions += r.l1_evictions;
         }
         // Launch order: the hardware distributor hands out blocks in index
         // order.
         blocks.sort_unstable_by_key(|b| b.idx);
 
-        self.finish_profile(kernel, lc, warps_per_block, total, blocks)
+        self.finish_profile(kernel, lc, warps_per_block, total, blocks, l1_evictions)
     }
 
     /// Resident warps per SM for this kernel/launch (registers, warp
@@ -381,10 +389,10 @@ impl Device {
         warps_per_block: usize,
         total: WarpStats,
         blocks: Vec<BlockCost>,
+        l1_evictions: u64,
     ) -> KernelProfile {
         let cfg = &self.cfg;
         let resident_warps = self.resident_warps(kernel, lc);
-        let trace_blocks = telemetry::enabled();
 
         // Greedy list scheduling of blocks onto SMs: each block (in launch
         // order) goes to the SM with the least accumulated slot time —
@@ -402,12 +410,11 @@ impl Device {
             (0..cfg.num_sms).map(|i| Reverse((0u64, i))).collect();
         let mut warps_run = 0u64;
         // (sm, block, start_cycles, end_cycles) placements, captured from
-        // the schedule only when telemetry collection is on.
-        let mut placements: Vec<(usize, u32, u64, u64)> = if trace_blocks {
-            Vec::with_capacity(blocks.len())
-        } else {
-            Vec::new()
-        };
+        // the schedule for the occupancy timeline (and, when telemetry is
+        // on, the per-SM trace track). Capturing is cheap — one tuple per
+        // block, no allocation beyond the reserved vec — and keeps the
+        // counters identical whether or not collection is enabled.
+        let mut placements: Vec<(usize, u32, u64, u64)> = Vec::with_capacity(blocks.len());
         for b in &blocks {
             let Reverse((load, sm)) = heap.pop().expect("bins nonempty");
             let bin = &mut bins[sm];
@@ -417,9 +424,7 @@ impl Device {
             bin.max_warp = bin.max_warp.max(b.max_warp);
             bin.blocks += 1;
             warps_run += warps_per_block as u64;
-            if trace_blocks {
-                placements.push((sm, b.idx, load, load + b.slot_cycles));
-            }
+            placements.push((sm, b.idx, load, load + b.slot_cycles));
             heap.push(Reverse((load + b.slot_cycles + cfg.block_sched_cycles, sm)));
         }
 
@@ -458,6 +463,7 @@ impl Device {
                 blocks: bin.blocks,
                 slot_cycles: bin.slot,
                 issue_cycles: bin.issue,
+                bw_sectors: bin.bw,
                 max_warp_cycles: bin.max_warp,
                 sm_cycles: sm_time,
             });
@@ -532,12 +538,14 @@ impl Device {
                 active_lane_steps: total.active_lane_steps,
                 total_lane_steps: total.total_lane_steps,
                 warps_per_block: warps_per_block as u64,
+                resident_warps,
                 sm: sm_accounting,
             },
+            hw: HwCounters::collect(cfg, &total, l1_evictions, &placements),
             injected_fault: None,
         };
 
-        if trace_blocks {
+        if telemetry::enabled() {
             self.publish_telemetry(&profile, placements);
         }
         self.sim_clock_us += profile.runtime_ms * 1e3;
@@ -558,6 +566,9 @@ impl Device {
             sm_utilization: profile.sm_utilization,
             limiter: profile.limiter.name().to_string(),
         });
+        for (counter, v) in profile.hw.scalar_counters() {
+            telemetry::counter_add(&format!("kernel.{}.hw.{counter}", profile.name), v);
+        }
 
         let to_us = |cycles: u64| cfg.cycles_to_ms(cycles as f64) * 1e3;
         let mut sms: Vec<SmTimeline> = (0..cfg.num_sms)
@@ -670,6 +681,41 @@ mod tests {
             (p.gpu_cycles, p.l1_hit_rate, p.load_bytes)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn hw_counters_bitwise_deterministic_and_conserving() {
+        let run = || {
+            let mut dev = Device::new(DeviceConfig::test_small());
+            let n = 4096;
+            let xs: Vec<f32> = (0..n).map(|i| (i % 97) as f32).collect();
+            let x = dev.mem_mut().alloc_from(&xs);
+            let y = dev.mem_mut().alloc::<f32>(n);
+            let k = Double { x, y, n };
+            dev.launch(&k, LaunchConfig::warp_per_item(n / 32, 256))
+        };
+        let a = run();
+        let b = run();
+        // All-integer counters: equality here is bitwise identity.
+        assert_eq!(a.hw, b.hw);
+
+        // Conservation against the raw accounting totals.
+        let hw = &a.hw;
+        let acc = &a.accounting;
+        assert_eq!(hw.l1_hit_sectors + hw.l1_miss_sectors, acc.mem_sectors);
+        assert_eq!(hw.l2_hit_sectors + hw.l2_miss_sectors, hw.l1_miss_sectors);
+        assert_eq!(hw.row_hit_sectors + hw.row_miss_sectors, hw.l1_miss_sectors);
+        assert_eq!(hw.dram_sectors, acc.dram_sectors);
+        assert_eq!(hw.issue_active_cycles, acc.issue_cycles);
+        assert!(hw.stall_mem_cycles > 0);
+        // The occupancy timeline re-adds to the schedule's slot cycles.
+        let busy: u64 = hw.occupancy.iter().flat_map(|o| o.busy_cycles.iter()).sum();
+        let slots: u64 = acc.sm.iter().map(|s| s.slot_cycles).sum();
+        assert_eq!(busy, slots);
+        // Per-SM bandwidth sectors re-add to the atomic-weighted total.
+        let bw: f64 = acc.sm.iter().map(|s| s.bw_sectors).sum();
+        assert!(bw > 0.0);
+        assert!(acc.resident_warps >= 1.0);
     }
 
     #[test]

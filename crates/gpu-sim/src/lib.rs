@@ -59,6 +59,7 @@
 pub mod cache;
 pub mod config;
 pub mod fault;
+pub mod hw;
 pub mod kernel;
 pub mod launch;
 pub mod mem;
@@ -67,8 +68,9 @@ pub mod warp;
 
 pub use config::{DeviceConfig, WARP_SIZE};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, LaunchError};
+pub use hw::{HwCounters, SmOccupancy, OCCUPANCY_BUCKETS};
 pub use kernel::{Kernel, LaunchConfig};
 pub use launch::Device;
-pub use mem::{DeviceBuffer, DeviceMemory, Word};
+pub use mem::{DeviceBuffer, DeviceMemory, Word, DRAM_ROW_BYTES};
 pub use profile::{Accounting, KernelProfile, OpProfile, SmAccounting};
 pub use warp::{WarpCtx, WarpId, WarpStats};

@@ -15,6 +15,20 @@
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU32, Ordering};
 
+/// Modelled DRAM row-buffer span, bytes. Consecutive sectors that fall in
+/// the same row are served from the open row buffer (a "row hit"); crossing
+/// a row boundary forces a precharge/activate. The counter model tracks row
+/// hits/misses over each warp's below-L1 load stream at this granularity —
+/// it is an *observability* constant, not a priced cost-model input, so
+/// changing it cannot perturb modelled cycles.
+pub const DRAM_ROW_BYTES: u64 = 1024;
+
+/// DRAM row index of a sector id (sectors are `sector_bytes` wide).
+#[inline]
+pub fn dram_row(sector: u64, sector_bytes: usize) -> u64 {
+    sector / (DRAM_ROW_BYTES / sector_bytes as u64).max(1)
+}
+
 /// A plain 32-bit word type storable in device memory.
 ///
 /// The simulator stores everything as raw `u32` bits; `Word` converts the

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::fault::FaultEvent;
+use crate::hw::HwCounters;
 
 /// Raw counter totals and per-SM schedule accounting for one launch.
 ///
@@ -54,6 +55,10 @@ pub struct Accounting {
     pub total_lane_steps: u64,
     /// Warps per block of this launch.
     pub warps_per_block: u64,
+    /// Resident warps per SM the cost model assumed for this launch
+    /// (registers, warp slots, shared memory, and the block cap all
+    /// considered; the latency-hiding divisor).
+    pub resident_warps: f64,
     /// Per-SM totals from the deterministic block list schedule.
     pub sm: Vec<SmAccounting>,
 }
@@ -67,6 +72,9 @@ pub struct SmAccounting {
     pub slot_cycles: u64,
     /// Issue cycles accumulated.
     pub issue_cycles: u64,
+    /// Atomic-weighted bandwidth sectors accumulated (the memory-bandwidth
+    /// term's input: `bw_sectors × sector_bw_cycles` cycles).
+    pub bw_sectors: f64,
     /// Longest single warp scheduled here, cycles.
     pub max_warp_cycles: u64,
     /// This SM's modelled completion time under the cost model, cycles.
@@ -139,6 +147,11 @@ pub struct KernelProfile {
     /// Raw counter totals and per-SM schedule accounting (conservation-law
     /// inputs; every ratio metric above derives from these).
     pub accounting: Accounting,
+    /// Hardware-counter-grade observability: warp stall reasons, cache
+    /// hit/miss/eviction sectors per level, DRAM row locality, and the
+    /// bucketed per-SM occupancy timeline. Pure observability — none of
+    /// these feed the cost model, and all are bitwise-deterministic.
+    pub hw: HwCounters,
     /// Fault injected into this launch, if any. Only stragglers can carry
     /// an event here (transient/device-lost launches never produce a
     /// profile); `None` always when the device's `FaultPlan` is empty.

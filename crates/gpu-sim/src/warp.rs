@@ -12,7 +12,7 @@
 
 use crate::cache::{SectorCache, SharedCache};
 use crate::config::{DeviceConfig, WARP_SIZE};
-use crate::mem::{DeviceBuffer, DeviceMemory, Word};
+use crate::mem::{dram_row, DeviceBuffer, DeviceMemory, Word};
 
 /// Per-warp counters; summed per SM and then per kernel by the launcher.
 #[derive(Debug, Clone, Copy, Default)]
@@ -25,6 +25,11 @@ pub struct WarpStats {
     pub mem_requests: u64,
     /// Sectors touched by load requests (coalescing metric numerator).
     pub mem_sectors: u64,
+    /// Below-L1 load sectors that stayed in the same modelled DRAM row as
+    /// the warp's previous below-L1 sector (row-buffer locality).
+    pub row_hit_sectors: u64,
+    /// Below-L1 load sectors that crossed a DRAM row boundary.
+    pub row_miss_sectors: u64,
     /// Cycles the warp stalled waiting on loads ("long scoreboard").
     pub mem_lat_cycles: u64,
     /// Load sectors served by the L1.
@@ -60,6 +65,8 @@ impl WarpStats {
         self.issue_cycles += o.issue_cycles;
         self.mem_requests += o.mem_requests;
         self.mem_sectors += o.mem_sectors;
+        self.row_hit_sectors += o.row_hit_sectors;
+        self.row_miss_sectors += o.row_miss_sectors;
         self.mem_lat_cycles += o.mem_lat_cycles;
         self.l1_hit_sectors += o.l1_hit_sectors;
         self.l2_hit_sectors += o.l2_hit_sectors;
@@ -120,6 +127,9 @@ pub struct WarpCtx<'a> {
     cfg: &'a DeviceConfig,
     shared: &'a mut [f32],
     id: WarpId,
+    /// DRAM row of this warp's last below-L1 load sector (`u64::MAX` =
+    /// no below-L1 access yet), for the row-locality counters.
+    last_dram_row: u64,
     /// Counters for this warp (read by the launcher afterwards).
     pub stats: WarpStats,
 }
@@ -152,6 +162,7 @@ impl<'a> WarpCtx<'a> {
             cfg,
             shared,
             id,
+            last_dram_row: u64::MAX,
             stats: WarpStats::default(),
         }
     }
@@ -270,12 +281,23 @@ impl<'a> WarpCtx<'a> {
             let lvl_lat = if self.l1.access(s) {
                 st.l1_hit_sectors += 1;
                 self.cfg.l1_latency
-            } else if self.l2.access(s) {
-                st.l2_hit_sectors += 1;
-                self.cfg.l2_latency
             } else {
-                st.dram_sectors += 1;
-                self.cfg.dram_latency
+                // Below-L1 stream: row-buffer locality relative to this
+                // warp's previous sector that left the SM.
+                let row = dram_row(s, self.cfg.sector_bytes);
+                if row == self.last_dram_row {
+                    st.row_hit_sectors += 1;
+                } else {
+                    st.row_miss_sectors += 1;
+                    self.last_dram_row = row;
+                }
+                if self.l2.access(s) {
+                    st.l2_hit_sectors += 1;
+                    self.cfg.l2_latency
+                } else {
+                    st.dram_sectors += 1;
+                    self.cfg.dram_latency
+                }
             };
             worst = worst.max(lvl_lat);
         }
@@ -526,6 +548,28 @@ mod tests {
         assert_eq!((a, b), (42.0, 42.0));
         assert_eq!(w.stats.l1_hit_sectors, 1);
         assert_eq!(w.stats.dram_sectors, 1);
+    }
+
+    #[test]
+    fn row_locality_tracks_below_l1_stream() {
+        let (mut mem, mut l1, l2, cfg) = harness();
+        let data: Vec<f32> = (0..32 * 256).map(|i| i as f32).collect();
+        let buf = mem.alloc_from(&data);
+        let mut shared = [];
+        let mut w = WarpCtx::new(&mem, &mut l1, &l2, &cfg, &mut shared, warp_id());
+        // Streaming: 4 consecutive cold sectors share one 1 KiB row.
+        let _ = w.ld(buf, Some);
+        assert_eq!(w.stats.row_miss_sectors, 1);
+        assert_eq!(w.stats.row_hit_sectors, 3);
+        // Stride 256 floats = 1 KiB: every below-L1 lane lands in a fresh
+        // row (lane 0 re-reads a sector still resident in the L1).
+        let _ = w.ld(buf, |lane| Some(lane * 256));
+        assert_eq!(w.stats.row_miss_sectors, 1 + 31);
+        // Conservation: every below-L1 sector is classified exactly once.
+        assert_eq!(
+            w.stats.row_hit_sectors + w.stats.row_miss_sectors,
+            w.stats.below_l1_sectors()
+        );
     }
 
     #[test]

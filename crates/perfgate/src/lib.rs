@@ -15,14 +15,21 @@
 //!    that moved (atomic transactions, sectors/request, occupancy,
 //!    cost-model terms), in the spirit of Nsight Compute's limiter
 //!    analysis.
+//! 4. [`roofline`] — arithmetic-intensity/roofline placement per
+//!    workload, cross-checked against the cost model's limiter; and
+//!    [`native`] — host-engine wall-clock ride-alongs recorded as
+//!    non-gated `info` metrics.
 //!
 //! The `perf_gate` bin in `tlpgnn-bench` drives all three from `ci.sh`;
 //! `--bless` re-baselines after an intentional change.
 
 pub mod gate;
+pub mod native;
+pub mod roofline;
 pub mod snapshot;
 pub mod suite;
 
 pub use gate::{compare, GateConfig, GateReport};
+pub use roofline::{BoundClass, RooflinePoint, ROOFLINE_SCHEMA};
 pub use snapshot::{Snapshot, WorkloadResult, SCHEMA};
-pub use suite::{run, Suite, Workload};
+pub use suite::{run, run_profiled, snapshot_from, Suite, Workload};

@@ -1,0 +1,126 @@
+//! Native-path wall-clock companions to the simulated suite.
+//!
+//! For every `(model, dataset)` combination a suite exercises, time the
+//! host [`NativeEngine`] on the same graph and features and record the
+//! median of `k` runs. Wall-clock is machine-dependent, so these numbers
+//! go into the snapshot's *informational* metrics (`info`), which the
+//! gate never compares and `--bless` strips — they ride along for the
+//! `perf_report` hotspot view, not for regression gating.
+//!
+//! [`NativeEngine`]: tlpgnn::NativeEngine
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use tlpgnn::{Aggregator, GnnModel, NativeEngine};
+use tlpgnn_tensor::Matrix;
+
+use crate::snapshot::Snapshot;
+use crate::suite::Suite;
+
+/// Default number of timed runs per combination (median taken).
+pub const DEFAULT_TIMED_RUNS: usize = 3;
+
+/// The host model equivalent to a simulated aggregator.
+pub fn model_for(agg: Aggregator) -> GnnModel {
+    match agg {
+        Aggregator::GcnSum => GnnModel::Gcn,
+        Aggregator::GinSum { eps } => GnnModel::Gin { eps },
+        Aggregator::SageMean => GnnModel::Sage,
+    }
+}
+
+/// Median wall-clock milliseconds of `k` native convolutions.
+fn median_wall_ms(
+    engine: &NativeEngine,
+    model: &GnnModel,
+    g: &tlpgnn_graph::Csr,
+    x: &Matrix,
+    k: usize,
+) -> f64 {
+    let mut samples: Vec<f64> = (0..k.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = engine.conv(model, g, x);
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(out);
+            dt
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Time the native engine on every distinct `(model, dataset)` pair of
+/// the suite and return `(workload-suffix, median ms)` keyed the way
+/// workload ids end (`model/dataset`), so one measurement annotates all
+/// kernel variants sharing that pair.
+pub fn measure(suite: &Suite, k: usize) -> BTreeMap<String, f64> {
+    let engine = NativeEngine::default();
+    let mut out = BTreeMap::new();
+    for w in &suite.workloads {
+        let key = format!("{}/{}", w.agg.name(), w.dataset.label());
+        if out.contains_key(&key) {
+            continue;
+        }
+        let g = w.dataset.build();
+        let x = Matrix::random(
+            g.num_vertices(),
+            suite.feat_dim,
+            1.0,
+            crate::suite::FEAT_SEED,
+        );
+        let model = model_for(w.agg);
+        out.insert(key, median_wall_ms(&engine, &model, &g, &x, k));
+    }
+    out
+}
+
+/// Annotate a snapshot's workloads with `native_wall_ms_median` info
+/// metrics measured by [`measure`]. Metrics land in `info`, never in
+/// the gated `metrics` map.
+pub fn annotate(snapshot: &mut Snapshot, suite: &Suite, k: usize) {
+    let timings = measure(suite, k);
+    for w in &mut snapshot.workloads {
+        // id = kernel/model/dataset; the timing key is model/dataset.
+        if let Some((_, suffix)) = w.id.split_once('/') {
+            if let Some(ms) = timings.get(suffix) {
+                w.info.insert("native_wall_ms_median".to_string(), *ms);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    #[test]
+    fn annotate_fills_info_and_strip_removes_it() {
+        let s = Suite::smoke();
+        let mut snap = suite::run(&s);
+        annotate(&mut snap, &s, 1);
+        assert!(snap
+            .workloads
+            .iter()
+            .all(|w| w.info.contains_key("native_wall_ms_median")));
+        // Gated metrics untouched: the info ride-along must not change
+        // what the gate compares.
+        let plain = suite::run(&s);
+        for (a, b) in snap.workloads.iter().zip(plain.workloads.iter()) {
+            assert_eq!(a.metrics, b.metrics);
+        }
+        snap.strip_info();
+        assert_eq!(snap, plain);
+    }
+
+    #[test]
+    fn model_mapping_covers_all_aggregators() {
+        assert!(matches!(model_for(Aggregator::GcnSum), GnnModel::Gcn));
+        assert!(
+            matches!(model_for(Aggregator::GinSum { eps: 0.25 }), GnnModel::Gin { eps } if eps == 0.25)
+        );
+        assert!(matches!(model_for(Aggregator::SageMean), GnnModel::Sage));
+    }
+}

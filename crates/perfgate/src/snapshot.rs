@@ -24,6 +24,11 @@ pub struct WorkloadResult {
     pub limiter: String,
     /// Every gate metric by name (see `KernelProfile::gate_metrics`).
     pub metrics: BTreeMap<String, f64>,
+    /// Informational (non-gated) metrics, e.g. native wall-clock medians.
+    /// The gate never compares these, `--bless` strips them before the
+    /// byte-identity check, and serialization omits the field entirely
+    /// when empty so gated snapshots stay byte-stable.
+    pub info: BTreeMap<String, f64>,
 }
 
 /// One versioned bench snapshot (`BENCH_<seq>.json`).
@@ -58,6 +63,13 @@ impl Snapshot {
             o.set("id", w.id.clone())
                 .set("limiter", w.limiter.clone())
                 .set("metrics", metrics);
+            if !w.info.is_empty() {
+                let mut info = Value::object();
+                for (k, v) in &w.info {
+                    info.set(k.clone(), *v);
+                }
+                o.set("info", info);
+            }
             workloads.push(o);
         }
         let mut o = Value::object();
@@ -109,10 +121,20 @@ impl Snapshot {
                     .ok_or_else(|| format!("workload {i}: metric {k:?} is not a number"))?;
                 metrics.insert(k.clone(), n);
             }
+            let mut info = BTreeMap::new();
+            if let Some(fields) = w.get("info").and_then(Value::as_obj) {
+                for (k, m) in fields {
+                    let n = m
+                        .as_f64()
+                        .ok_or_else(|| format!("workload {i}: info {k:?} is not a number"))?;
+                    info.insert(k.clone(), n);
+                }
+            }
             workloads.push(WorkloadResult {
                 id: req_str(w, "id").map_err(|e| format!("workload {i}: {e}"))?,
                 limiter: req_str(w, "limiter").map_err(|e| format!("workload {i}: {e}"))?,
                 metrics,
+                info,
             });
         }
         Ok(Snapshot {
@@ -129,6 +151,15 @@ impl Snapshot {
         })
     }
 
+    /// Drop every workload's informational metrics. Used before the
+    /// `--bless` byte-identity check and before committing a baseline, so
+    /// machine-dependent numbers (wall-clock) never enter a gated file.
+    pub fn strip_info(&mut self) {
+        for w in &mut self.workloads {
+            w.info.clear();
+        }
+    }
+
     /// Write the pretty form to `path`.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         std::fs::write(path, self.to_pretty_string())
@@ -140,6 +171,16 @@ impl Snapshot {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         Self::from_json_str(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
+}
+
+/// Render any JSON value with the snapshot pretty-printer (two-space
+/// indent, one scalar per line) — shared with the roofline report so
+/// every committed/inspected JSON artifact diffs the same way.
+pub fn pretty_json(v: &Value) -> String {
+    let mut out = String::new();
+    pretty(v, 0, &mut out);
+    out.push('\n');
+    out
 }
 
 fn req_str(v: &Value, key: &str) -> Result<String, String> {
@@ -269,6 +310,7 @@ mod tests {
                 id: "fused/gcn/power_law".to_string(),
                 limiter: "bandwidth".to_string(),
                 metrics,
+                info: BTreeMap::new(),
             }],
         }
     }
@@ -282,6 +324,25 @@ mod tests {
         // The compact form parses too.
         let back2 = Snapshot::from_json_str(&s.to_json().to_string()).unwrap();
         assert_eq!(back2, s);
+    }
+
+    #[test]
+    fn info_roundtrips_and_strips() {
+        let mut s = sample();
+        // No info => the field is absent from the serialized form, so
+        // gated snapshots are byte-identical to the pre-info layout.
+        assert!(!s.to_pretty_string().contains("\"info\""));
+        s.workloads[0]
+            .info
+            .insert("native_wall_ms_median".to_string(), 1.75);
+        let text = s.to_pretty_string();
+        assert!(text.contains("\"info\""));
+        let back = Snapshot::from_json_str(&text).unwrap();
+        assert_eq!(back, s);
+        let mut stripped = back;
+        stripped.strip_info();
+        assert!(stripped.workloads[0].info.is_empty());
+        assert!(!stripped.to_pretty_string().contains("\"info\""));
     }
 
     #[test]

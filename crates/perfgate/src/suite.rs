@@ -17,7 +17,7 @@ use tlpgnn_tensor::Matrix;
 use crate::snapshot::{Snapshot, WorkloadResult, SCHEMA};
 
 /// Seed for the deterministic feature matrices.
-const FEAT_SEED: u64 = 0x7e9f_6a7e;
+pub(crate) const FEAT_SEED: u64 = 0x7e9f_6a7e;
 
 /// Which kernel a workload launches.
 #[derive(Debug, Clone)]
@@ -278,30 +278,44 @@ fn launch_workload(dev: &mut Device, w: &Workload, g: &Csr, x: &Matrix) -> Kerne
     }
 }
 
-/// Run every workload on a fresh device and collect the snapshot.
-///
-/// `seq` and `git_sha` are left for the caller to fill in (the runner
-/// itself must not read the environment, so that two back-to-back runs
-/// are byte-identical).
-pub fn run(suite: &Suite) -> Snapshot {
-    let mut workloads = Vec::with_capacity(suite.workloads.len());
+/// Run every workload on a fresh device and keep the full
+/// [`KernelProfile`] per workload id, in suite order. The roofline
+/// attribution layer consumes these directly; [`run`] reduces them to
+/// the gate-metric snapshot.
+pub fn run_profiled(suite: &Suite) -> Vec<(String, KernelProfile)> {
+    let mut out = Vec::with_capacity(suite.workloads.len());
     for w in &suite.workloads {
         let id = w.id();
         let _span = telemetry::span!("perfgate.workload", id = id);
+        let _prof = telemetry::prof::scope("perfgate.workload");
         let g = w.dataset.build();
         let x = Matrix::random(g.num_vertices(), suite.feat_dim, 1.0, FEAT_SEED);
         let mut dev = Device::new(suite.device.clone());
         let p = launch_workload(&mut dev, w, &g, &x);
-        workloads.push(WorkloadResult {
-            id,
+        out.push((id, p));
+    }
+    out
+}
+
+/// Reduce profiled runs to the snapshot the gate serializes.
+///
+/// `seq` and `git_sha` are left for the caller to fill in (the runner
+/// itself must not read the environment, so that two back-to-back runs
+/// are byte-identical).
+pub fn snapshot_from(suite: &Suite, runs: &[(String, KernelProfile)]) -> Snapshot {
+    let workloads = runs
+        .iter()
+        .map(|(id, p)| WorkloadResult {
+            id: id.clone(),
             limiter: p.limiter.name().to_string(),
             metrics: p
                 .gate_metrics()
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
-        });
-    }
+            info: Default::default(),
+        })
+        .collect();
     Snapshot {
         schema: SCHEMA.to_string(),
         seq: 0,
@@ -311,6 +325,11 @@ pub fn run(suite: &Suite) -> Snapshot {
         device: suite.device.name.clone(),
         workloads,
     }
+}
+
+/// Run every workload on a fresh device and collect the snapshot.
+pub fn run(suite: &Suite) -> Snapshot {
+    snapshot_from(suite, &run_profiled(suite))
 }
 
 #[cfg(test)]

@@ -1,0 +1,53 @@
+//! Golden-file test pinning the `roofline.json` schema: field names,
+//! per-workload entry layout, and the exact numbers the deterministic
+//! smoke suite produces. CI and external tooling parse this layout (and
+//! the simulator is deterministic, so the *values* are part of the
+//! contract too — any drift is a real cost/counter-model change, not
+//! noise).
+//!
+//! Regenerate after an intentional change with:
+//! `TLPGNN_BLESS=1 cargo test -p tlpgnn-perfgate --test roofline_golden`
+
+use tlpgnn_perfgate::roofline;
+use tlpgnn_perfgate::suite::{self, Suite};
+
+#[test]
+fn roofline_json_schema_is_pinned() {
+    let s = Suite::smoke();
+    let runs = suite::run_profiled(&s);
+    let points = roofline::classify_all(&runs, &s.device);
+    let rendered = roofline::report_pretty_string(&s.device.name, &points);
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/roofline.json");
+    if std::env::var("TLPGNN_BLESS").is_ok() {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
+        std::fs::write(golden, &rendered).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(golden).expect("golden file present");
+    assert_eq!(
+        rendered, expected,
+        "roofline.json drifted from tests/golden/roofline.json; \
+         if intentional, re-bless with TLPGNN_BLESS=1"
+    );
+}
+
+#[test]
+fn roofline_report_parses_and_agrees() {
+    let s = Suite::smoke();
+    let runs = suite::run_profiled(&s);
+    let points = roofline::classify_all(&runs, &s.device);
+    let rendered = roofline::report_pretty_string(&s.device.name, &points);
+    let doc = telemetry::json::parse(&rendered).expect("own output parses");
+    use telemetry::json::Value;
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some(roofline::ROOFLINE_SCHEMA)
+    );
+    let entries = doc.get("workloads").and_then(Value::as_arr).unwrap();
+    assert_eq!(entries.len(), runs.len());
+    for e in entries {
+        assert_eq!(e.get("agrees").and_then(Value::as_bool), Some(true));
+        let class = e.get("class").and_then(Value::as_str).unwrap();
+        assert!(["compute", "bandwidth", "latency"].contains(&class));
+    }
+}

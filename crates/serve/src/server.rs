@@ -977,6 +977,11 @@ enum ProcessOutcome {
 /// one forward pass, cache keys carry the group's epoch.
 fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> ProcessOutcome {
     let _span = telemetry::span!("serve.process_batch", requests = batch.len());
+    let _prof = telemetry::prof::scope("serve.process_batch");
+    // Per-batch allocation accounting: free when no counting allocator is
+    // installed (the deltas read zero), real bytes/allocs when the
+    // `perf_report` binary installs one.
+    let alloc0 = telemetry::prof::thread_alloc_stats();
     let picked_up = Instant::now();
     let m = &shared.metrics;
     let classes = shared.net.out_dim();
@@ -1045,6 +1050,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
     let mut stale_targets: HashSet<u32> = HashSet::new();
     {
         let _span = telemetry::span!("serve.cache_lookup", targets = uniq.len());
+        let _prof = telemetry::prof::scope("serve.cache_lookup");
         let grace = if level >= DegradationLevel::StaleOk {
             shared.stale_grace
         } else {
@@ -1100,6 +1106,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
         let t0 = Instant::now();
         let ego = {
             let _span = telemetry::span!("serve.extract", misses = miss_targets.len(), hops = hops);
+            let _prof = telemetry::prof::scope("serve.extract");
             if sampling {
                 // Epoch-salted seed: the draw is deterministic per
                 // (vertex, epoch), so replays reproduce it exactly while
@@ -1144,6 +1151,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
                 p.trace.push("attempt", || format!("idx={attempt}"));
             }
             let _span = telemetry::span!("serve.compute", vertices = ego.vertices.len());
+            let _prof = telemetry::prof::scope("serve.compute");
             match engine.try_classify_forward(&shared.net, &ego.csr, &sub_feats) {
                 Ok((out, _profile)) => break Some(out),
                 Err(LaunchError::DeviceLost) => {
@@ -1226,6 +1234,7 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
     // budget exhausted) fails with `DeviceFault` — terminally resolved
     // either way.
     let _respond = telemetry::span!("serve.respond", requests = batch.len());
+    let _prof_respond = telemetry::prof::scope("serve.respond");
     let miss_set: HashSet<u32> = miss_targets.iter().copied().collect();
     for (p, enqueued) in batch.iter() {
         let targets = &p.request.targets;
@@ -1298,6 +1307,17 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
             epoch,
             trace,
         }));
+    }
+    if telemetry::enabled() && telemetry::prof::alloc_counting_installed() {
+        let d = telemetry::prof::thread_alloc_stats().since(&alloc0);
+        if d.allocs > 0 {
+            telemetry::observe("serve.batch.alloc_bytes", d.bytes as f64);
+            telemetry::observe("serve.batch.allocs", d.allocs as f64);
+            telemetry::observe(
+                "serve.request.alloc_bytes",
+                d.bytes as f64 / batch.len() as f64,
+            );
+        }
     }
     ProcessOutcome::Done
 }

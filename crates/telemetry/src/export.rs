@@ -287,7 +287,7 @@ pub fn events_jsonl(c: &Collector) -> String {
 
 /// A frame name, made safe for the folded-stack line format: `;` is the
 /// frame separator and the weight is whitespace-delimited at end of line.
-fn folded_frame(name: &str) -> String {
+pub(crate) fn folded_frame(name: &str) -> String {
     name.chars()
         .map(|c| match c {
             ';' => ':',
@@ -307,20 +307,40 @@ fn folded_frame(name: &str) -> String {
 /// its subtree. Spans from different threads with the same stack of
 /// names aggregate into one line.
 pub fn folded_stacks(c: &Collector) -> String {
+    folded_impl(c, false)
+}
+
+/// Cumulative variant of [`folded_stacks`]: every line's weight is the
+/// span's *total* (inclusive) time, so a stack's value is the full cost
+/// of its subtree. Stacks are therefore not disjoint — a parent's weight
+/// includes its children's — which is the right view for "where does the
+/// whole request/conv go" questions, complementing the self-time view
+/// that highlights leaves. Zero-duration spans are still skipped.
+pub fn folded_stacks_cumulative(c: &Collector) -> String {
+    folded_impl(c, true)
+}
+
+fn folded_impl(c: &Collector, cumulative: bool) -> String {
     use std::collections::{BTreeMap, HashMap};
     let spans = c.spans_snapshot();
     let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
     let mut child_ns: HashMap<u64, u64> = HashMap::new();
-    for s in &spans {
-        if let Some(p) = s.parent {
-            *child_ns.entry(p).or_insert(0) += s.end_ns.saturating_sub(s.start_ns);
+    if !cumulative {
+        for s in &spans {
+            if let Some(p) = s.parent {
+                *child_ns.entry(p).or_insert(0) += s.end_ns.saturating_sub(s.start_ns);
+            }
         }
     }
     let mut folded: BTreeMap<String, u64> = BTreeMap::new();
     for s in &spans {
         let total = s.end_ns.saturating_sub(s.start_ns);
-        let self_ns = total.saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
-        if self_ns == 0 {
+        let weight = if cumulative {
+            total
+        } else {
+            total.saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0))
+        };
+        if weight == 0 {
             continue;
         }
         let mut frames = vec![folded_frame(s.name)];
@@ -337,7 +357,7 @@ pub fn folded_stacks(c: &Collector) -> String {
             }
         }
         frames.reverse();
-        *folded.entry(frames.join(";")).or_insert(0) += self_ns;
+        *folded.entry(frames.join(";")).or_insert(0) += weight;
     }
     let mut out = String::new();
     for (stack, ns) in folded {
@@ -378,4 +398,12 @@ pub fn write_events_jsonl(c: &Collector, path: impl AsRef<Path>) -> std::io::Res
 /// `flamegraph.pl` or drop into speedscope).
 pub fn write_folded_stacks(c: &Collector, path: impl AsRef<Path>) -> std::io::Result<()> {
     write_text(path.as_ref(), &folded_stacks(c))
+}
+
+/// Write the cumulative (inclusive-time) folded stacks to `path`.
+pub fn write_folded_stacks_cumulative(
+    c: &Collector,
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    write_text(path.as_ref(), &folded_stacks_cumulative(c))
 }

@@ -47,6 +47,7 @@ pub mod export;
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod sim;
 pub mod slo;
 pub mod span;

@@ -1,0 +1,502 @@
+//! Low-overhead scope-based profiler for native (host) code paths.
+//!
+//! Where [`span!`](crate::span!) records into the global collector under a
+//! mutex (fine for kernel launches and request phases at millisecond
+//! scale), `prof` targets the native engine's inner stages: each scope is
+//! one entry in a fixed-capacity *thread-local* ring of timestamped
+//! samples, so the enabled-path cost is two `Instant` reads, one short
+//! lock of the calling thread's own ring (uncontended except during a
+//! drain), and zero allocations after the per-thread ring exists.
+//!
+//! Like the rest of the telemetry crate, the profiler is **zero-cost when
+//! disabled**: [`scope`] checks one relaxed atomic and returns `None`
+//! before touching thread-local state — no allocation, verified by the
+//! `zero_cost` integration test. It is gated by its own flag
+//! ([`set_enabled`]) so `TLPGNN_PROF=0` can disable sampling while the
+//! collector keeps running, and vice versa.
+//!
+//! The module also hosts the counting allocator ([`CountingAlloc`]) that
+//! `perf_report` installs (feature-gated in the bench crate) to attribute
+//! heap bytes/allocation counts to serve requests and native conv calls.
+//! The counters live here unconditionally — reading them is free and
+//! returns zeros when no counting allocator is installed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::export::folded_frame;
+
+/// Deepest scope nesting recorded per sample. Scopes opened deeper than
+/// this still nest correctly but are not sampled (counted as dropped).
+pub const MAX_DEPTH: usize = 8;
+
+/// Samples retained per thread; the ring overwrites its oldest entries
+/// beyond this (tracked by [`ProfSnapshot::dropped`]).
+pub const RING_CAPACITY: usize = 8192;
+
+static PROF_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether scope sampling is on: one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    PROF_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn scope sampling on or off (process-wide).
+pub fn set_enabled(on: bool) {
+    PROF_ENABLED.store(on, Ordering::SeqCst);
+}
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// One completed scope: its full ancestry path (static names), nesting
+/// depth, and timing.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopeSample {
+    path: [&'static str; MAX_DEPTH],
+    depth: u8,
+    /// Nanoseconds since the profiler epoch at scope entry.
+    pub start_ns: u64,
+    /// Scope duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl ScopeSample {
+    /// The scope's ancestry, outermost first; the last frame is the scope
+    /// itself.
+    pub fn frames(&self) -> &[&'static str] {
+        &self.path[..self.depth as usize]
+    }
+}
+
+/// One thread's sample ring, shared with the global registry for
+/// draining.
+struct ThreadRing {
+    samples: Mutex<RingBuf>,
+    dropped: AtomicU64,
+}
+
+struct RingBuf {
+    buf: Vec<ScopeSample>,
+    /// Overwrite cursor once `buf` reached capacity.
+    next: usize,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+struct ThreadProf {
+    stack: [&'static str; MAX_DEPTH],
+    /// Open scopes on this thread (may exceed `MAX_DEPTH`; frames beyond
+    /// the cap are not recorded).
+    depth: usize,
+    ring: Arc<ThreadRing>,
+}
+
+thread_local! {
+    static PROF: RefCell<Option<ThreadProf>> = const { RefCell::new(None) };
+}
+
+/// RAII guard for one profiled scope; records the sample on drop.
+pub struct ProfGuard {
+    start_ns: u64,
+    /// The scope was opened past `MAX_DEPTH` and will not be sampled.
+    deep: bool,
+}
+
+/// Open a profiled scope named `name`. Returns `None` (without touching
+/// thread-local state or allocating) when sampling is disabled.
+#[inline]
+pub fn scope(name: &'static str) -> Option<ProfGuard> {
+    if !enabled() {
+        return None;
+    }
+    Some(scope_slow(name))
+}
+
+#[cold]
+fn scope_slow(name: &'static str) -> ProfGuard {
+    let deep = PROF.with(|p| {
+        let mut p = p.borrow_mut();
+        let tp = p.get_or_insert_with(|| {
+            let ring = Arc::new(ThreadRing {
+                samples: Mutex::new(RingBuf {
+                    buf: Vec::with_capacity(RING_CAPACITY),
+                    next: 0,
+                }),
+                dropped: AtomicU64::new(0),
+            });
+            registry().lock().unwrap().push(Arc::clone(&ring));
+            ThreadProf {
+                stack: [""; MAX_DEPTH],
+                depth: 0,
+                ring,
+            }
+        });
+        let deep = tp.depth >= MAX_DEPTH;
+        if !deep {
+            tp.stack[tp.depth] = name;
+        }
+        tp.depth += 1;
+        deep
+    });
+    ProfGuard {
+        start_ns: now_ns(),
+        deep,
+    }
+}
+
+impl Drop for ProfGuard {
+    fn drop(&mut self) {
+        let dur_ns = now_ns().saturating_sub(self.start_ns);
+        PROF.with(|p| {
+            let mut p = p.borrow_mut();
+            let Some(tp) = p.as_mut() else { return };
+            tp.depth = tp.depth.saturating_sub(1);
+            if self.deep {
+                tp.ring.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let depth = (tp.depth + 1).min(MAX_DEPTH);
+            let sample = ScopeSample {
+                path: tp.stack,
+                depth: depth as u8,
+                start_ns: self.start_ns,
+                dur_ns,
+            };
+            let mut ring = tp.ring.samples.lock().unwrap();
+            if ring.buf.len() < RING_CAPACITY {
+                ring.buf.push(sample);
+            } else {
+                let at = ring.next;
+                ring.buf[at] = sample;
+                ring.next = (at + 1) % RING_CAPACITY;
+                tp.ring.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+/// Everything drained from the per-thread rings.
+#[derive(Debug, Default)]
+pub struct ProfSnapshot {
+    /// All retained samples, every thread, in drain order.
+    pub samples: Vec<ScopeSample>,
+    /// Samples lost to ring overwrites or over-deep nesting since the
+    /// last [`take`].
+    pub dropped: u64,
+}
+
+/// Drain and return all threads' samples (clearing the rings).
+pub fn take() -> ProfSnapshot {
+    let mut out = ProfSnapshot::default();
+    for ring in registry().lock().unwrap().iter() {
+        let mut rb = ring.samples.lock().unwrap();
+        out.samples.append(&mut rb.buf);
+        rb.next = 0;
+        out.dropped += ring.dropped.swap(0, Ordering::Relaxed);
+    }
+    out
+}
+
+/// Clear all rings and drop counters without returning samples.
+pub fn reset() {
+    let _ = take();
+}
+
+/// Aggregated statistics for one distinct scope path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeStat {
+    /// Semicolon-joined ancestry path (flamegraph "folded" key).
+    pub path: String,
+    /// Times the scope ran.
+    pub count: u64,
+    /// Total (inclusive) nanoseconds.
+    pub total_ns: u64,
+    /// Self nanoseconds: total minus direct children's totals.
+    pub self_ns: u64,
+    /// Shortest single run, nanoseconds.
+    pub min_ns: u64,
+    /// Longest single run, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Aggregate samples by full scope path, computing inclusive and self
+/// time per path. Sorted by path.
+pub fn aggregate(samples: &[ScopeSample]) -> Vec<ScopeStat> {
+    let mut by_path: BTreeMap<String, ScopeStat> = BTreeMap::new();
+    for s in samples {
+        let key = folded_key(s.frames());
+        let e = by_path.entry(key.clone()).or_insert(ScopeStat {
+            path: key,
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        });
+        e.count += 1;
+        e.total_ns += s.dur_ns;
+        e.min_ns = e.min_ns.min(s.dur_ns);
+        e.max_ns = e.max_ns.max(s.dur_ns);
+    }
+    // Self time: subtract each path's total from its parent's.
+    let child_totals: Vec<(String, u64)> = by_path
+        .iter()
+        .filter_map(|(k, v)| k.rfind(';').map(|cut| (k[..cut].to_string(), v.total_ns)))
+        .collect();
+    for stat in by_path.values_mut() {
+        stat.self_ns = stat.total_ns;
+    }
+    for (parent, child_total) in child_totals {
+        if let Some(p) = by_path.get_mut(&parent) {
+            p.self_ns = p.self_ns.saturating_sub(child_total);
+        }
+    }
+    by_path.into_values().collect()
+}
+
+/// Render samples as flamegraph "folded stacks" lines (`path weight`).
+/// With `cumulative` false the weight is self time and ancestor-only
+/// lines with zero self time are skipped (the classic disjoint format);
+/// with `cumulative` true every path's weight is its inclusive total, so
+/// parents show the full cost of their subtree.
+pub fn folded(samples: &[ScopeSample], cumulative: bool) -> String {
+    let mut out = String::new();
+    for stat in aggregate(samples) {
+        let w = if cumulative {
+            stat.total_ns
+        } else {
+            stat.self_ns
+        };
+        if w == 0 && !cumulative {
+            continue;
+        }
+        out.push_str(&stat.path);
+        out.push(' ');
+        out.push_str(&w.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn folded_key(frames: &[&'static str]) -> String {
+    let mut key = String::new();
+    for (i, f) in frames.iter().enumerate() {
+        if i > 0 {
+            key.push(';');
+        }
+        key.push_str(&folded_frame(f));
+    }
+    key
+}
+
+// ---------------------------------------------------------------------------
+// Counting allocator
+// ---------------------------------------------------------------------------
+
+static TOTAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Heap counters for the calling thread (see [`thread_alloc_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocations (plus reallocations) performed.
+    pub allocs: u64,
+    /// Bytes requested across those allocations.
+    pub bytes: u64,
+}
+
+impl AllocStats {
+    /// Counter deltas since an earlier snapshot of the same thread.
+    pub fn since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+            bytes: self.bytes.wrapping_sub(earlier.bytes),
+        }
+    }
+}
+
+/// This thread's allocation counters. All zeros (and deltas stay zero)
+/// unless the process installed [`CountingAlloc`] as its global
+/// allocator.
+pub fn thread_alloc_stats() -> AllocStats {
+    AllocStats {
+        allocs: THREAD_ALLOCS.with(|c| c.get()),
+        bytes: THREAD_ALLOC_BYTES.with(|c| c.get()),
+    }
+}
+
+/// Whether a counting allocator is live in this process (any allocation
+/// has been counted).
+pub fn alloc_counting_installed() -> bool {
+    TOTAL_ALLOCS.load(Ordering::Relaxed) > 0
+}
+
+/// A counting global allocator: forwards to [`System`] and bumps the
+/// per-thread and process-wide counters. Install it from a binary that
+/// wants per-request allocation attribution:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: telemetry::prof::CountingAlloc = telemetry::prof::CountingAlloc;
+/// ```
+///
+/// The counter bumps are a `Cell` add and one relaxed atomic — safe
+/// inside the allocator (no allocation, no lazy init) and cheap enough
+/// for bench binaries; the library never installs it for you.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[inline]
+fn count(bytes: usize) {
+    THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+    THREAD_ALLOC_BYTES.with(|c| c.set(c.get() + bytes as u64));
+    TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Tests that flip the global sampling flag or drain the shared ring
+    /// registry must not interleave (cargo runs `#[test]`s in parallel).
+    fn prof_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn sample(frames: &[&'static str], dur_ns: u64) -> ScopeSample {
+        let mut path = [""; MAX_DEPTH];
+        path[..frames.len()].copy_from_slice(frames);
+        ScopeSample {
+            path,
+            depth: frames.len() as u8,
+            start_ns: 0,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn aggregate_computes_self_and_total() {
+        let samples = vec![
+            sample(&["conv"], 100),
+            sample(&["conv"], 140),
+            sample(&["conv", "prepare"], 30),
+            sample(&["conv", "aggregate"], 150),
+        ];
+        let stats = aggregate(&samples);
+        let get = |p: &str| stats.iter().find(|s| s.path == p).unwrap();
+        let conv = get("conv");
+        assert_eq!(conv.count, 2);
+        assert_eq!(conv.total_ns, 240);
+        assert_eq!(conv.self_ns, 240 - 30 - 150);
+        assert_eq!(conv.min_ns, 100);
+        assert_eq!(conv.max_ns, 140);
+        assert_eq!(get("conv;prepare").self_ns, 30);
+    }
+
+    #[test]
+    fn folded_cumulative_includes_parents_fully() {
+        let samples = vec![
+            sample(&["a"], 100),
+            sample(&["a", "b"], 100),
+            sample(&["a", "b", "c"], 60),
+        ];
+        // Self mode: `a;b` has 40 self ns, `a` has 0 (skipped).
+        let self_out = folded(&samples, false);
+        assert!(self_out.contains("a;b 40\n"));
+        assert!(self_out.contains("a;b;c 60\n"));
+        assert!(!self_out.contains("a 100"));
+        // Cumulative mode: every path carries its inclusive total.
+        let cum_out = folded(&samples, true);
+        assert!(cum_out.contains("a 100\n"));
+        assert!(cum_out.contains("a;b 100\n"));
+        assert!(cum_out.contains("a;b;c 60\n"));
+    }
+
+    #[test]
+    fn scopes_record_and_drain() {
+        let _g = prof_lock();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = scope("outer");
+            let _inner = scope("inner");
+        }
+        set_enabled(false);
+        let snap = take();
+        assert!(snap
+            .samples
+            .iter()
+            .any(|s| s.frames() == ["outer", "inner"]));
+        assert!(snap.samples.iter().any(|s| s.frames() == ["outer"]));
+        // Drained: a second take returns nothing new from this thread.
+        assert!(scope("off").is_none());
+    }
+
+    #[test]
+    fn over_deep_nesting_is_dropped_not_corrupted() {
+        let _g = prof_lock();
+        reset();
+        set_enabled(true);
+        {
+            let _guards: Vec<_> = (0..MAX_DEPTH + 3).map(|_| scope("deep")).collect();
+        }
+        set_enabled(false);
+        let snap = take();
+        assert_eq!(snap.dropped, 3);
+        // The deepest recorded sample carries exactly MAX_DEPTH frames.
+        assert!(snap.samples.iter().any(|s| s.frames().len() == MAX_DEPTH));
+    }
+
+    #[test]
+    fn alloc_stats_delta() {
+        let a = AllocStats {
+            allocs: 10,
+            bytes: 100,
+        };
+        let b = AllocStats {
+            allocs: 14,
+            bytes: 350,
+        };
+        assert_eq!(
+            b.since(&a),
+            AllocStats {
+                allocs: 4,
+                bytes: 250
+            }
+        );
+    }
+}

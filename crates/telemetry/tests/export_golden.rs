@@ -52,6 +52,33 @@ fn folded_stacks_match_golden_file() {
 }
 
 #[test]
+fn cumulative_folded_stacks_match_golden_file() {
+    let c = build_collector();
+    let text = export::folded_stacks_cumulative(&c);
+    let golden = include_str!("golden/folded_total.txt");
+    assert_eq!(
+        text, golden,
+        "cumulative folded-stack output drifted from tests/golden/folded_total.txt; \
+         update the golden file only on an intentional format change"
+    );
+}
+
+#[test]
+fn cumulative_keeps_fully_covered_parents() {
+    let c = Collector::new();
+    // Parent fully covered by its child: zero *self* time, but its
+    // inclusive cost is the whole subtree — the cumulative view must
+    // keep the line the self-time view drops.
+    c.record_span(span(1, None, 0, "outer", 0, 10_000));
+    c.record_span(span(2, Some(1), 1, "inner", 0, 10_000));
+    assert_eq!(export::folded_stacks(&c), "outer;inner 10000\n");
+    assert_eq!(
+        export::folded_stacks_cumulative(&c),
+        "outer 10000\nouter;inner 10000\n"
+    );
+}
+
+#[test]
 fn folded_stacks_skip_zero_self_time_and_merge_threads() {
     let c = Collector::new();
     // Parent fully covered by its child: zero self time, no line.

@@ -34,6 +34,7 @@ fn allocations() -> u64 {
 #[test]
 fn disabled_telemetry_allocates_nothing() {
     telemetry::set_enabled(false);
+    telemetry::prof::set_enabled(false);
     // Warm up lazies (thread locals, etc.) outside the measured window.
     {
         let g = telemetry::span!("warmup", i = 0);
@@ -60,6 +61,10 @@ fn disabled_telemetry_allocates_nothing() {
         // detail strings (the closure must not even run) when disabled.
         trace.push("pickup", || format!("batch={i}"));
         telemetry::trace::set_current(i);
+        // Profiler scopes share the discipline: one relaxed atomic load
+        // when disabled, no thread-local ring, no guard.
+        let p = telemetry::prof::scope("launch.stage");
+        assert!(p.is_none());
     }
     telemetry::trace::set_current(0);
     let after = allocations();
@@ -79,4 +84,17 @@ fn disabled_telemetry_allocates_nothing() {
     }
     telemetry::set_enabled(false);
     assert!(allocations() > before, "enabled path does allocate");
+
+    // Same sanity for the profiler: the first enabled scope on a thread
+    // lazily allocates its sample ring, so the zero-alloc assertion
+    // above really did exercise the disabled fast path.
+    let before = allocations();
+    telemetry::prof::set_enabled(true);
+    {
+        let p = telemetry::prof::scope("enabled.stage");
+        assert!(p.is_some());
+    }
+    telemetry::prof::set_enabled(false);
+    telemetry::prof::reset();
+    assert!(allocations() > before, "enabled prof path does allocate");
 }
