@@ -52,12 +52,18 @@ mkdir -p results
 echo "=== chaos smoke ==="
 # Seeded fault-injection scenarios (transient storm, device loss,
 # straggler, overload+faults, cache poison, sharded serving, streaming
-# mutations under load, clean baseline) against the serving stack. Each
-# runs twice with the same seed and must produce an identical event log;
-# exits non-zero on any SLO violation (a hang, a lost request, an
+# mutations under load, shard-worker loss with standby failover,
+# halo-fetch timeout storm, clean baseline) against the serving stack.
+# Each runs twice with the same seed and must produce an identical event
+# log; exits non-zero on any SLO violation (a hang, a lost request, an
 # unflagged wrong answer — including an unflagged *stale* answer after a
-# mutation — unbounded requeueing, a misrouted shard request).
+# mutation or an unflagged *partial* answer after an uncovered shard
+# loss — unbounded requeueing, a misrouted shard request, a salvage that
+# is not exactly-once, or halo accounting double-counted by a retry).
 ./target/release/chaos_bench --smoke
+# The shard failover layer must be invisible when no faults are
+# injected: the committed perf-gate baseline stays byte-identical.
+echo "${bench_baseline_sha}" | sha256sum --check --quiet -
 
 echo "=== dynamic smoke ==="
 # Streaming-graph mutation layer: delta overlay vs from-scratch-rebuild

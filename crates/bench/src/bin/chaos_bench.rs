@@ -1,7 +1,7 @@
 //! **chaos_bench** — seeded fault-injection chaos harness for the
 //! serving stack.
 //!
-//! Runs eight scenarios against `tlpgnn-serve`, each driven by a
+//! Runs ten scenarios against `tlpgnn-serve`, each driven by a
 //! deterministic `gpu_sim::FaultPlan` (or the server's chaos hook), and
 //! asserts the service-level invariants the resilience layer exists to
 //! uphold:
@@ -13,7 +13,7 @@
 //!   responses are explicitly flagged.
 //! * **Bounded recovery** — a lost worker is respawned and its in-flight
 //!   batch requeued exactly once, so service resumes within one batch.
-//! * **Determinism** — all eight scenarios run *twice* with the same seed
+//! * **Determinism** — all ten scenarios run *twice* with the same seed
 //!   and must produce identical event logs (fault injection is a pure
 //!   function of `(seed, launch index)`, and racy scenarios log only
 //!   order-independent aggregates).
@@ -27,11 +27,18 @@
 //! recovery + exactly-once requeue), `sharded` (graph partitioned
 //! across four simulated devices — answers stay bitwise equal to the
 //! single-device reference and every chain's `shard_route` decision
-//! names the shard that owns its seed vertex), and `dynamic` (streaming
+//! names the shard that owns its seed vertex), `dynamic` (streaming
 //! edge/vertex/feature mutations interleaved with queries — every
 //! unflagged answer must be bitwise the fresh ego+engine oracle on the
 //! independently materialized graph at the response's pinned epoch: no
-//! unflagged stale answer, ever).
+//! unflagged stale answer, ever), `shard_loss` (a shard worker dies
+//! mid-batch — with standby mirrors its parked batch is salvaged to the
+//! buddy exactly once, answers stay bitwise, and the shard re-warms
+//! within budget; without mirrors the dead range serves *partially*,
+//! every uncovered answer flagged, never silently wrong), and
+//! `halo_storm` (transient halo-fetch timeouts retried under backoff —
+//! responses and `HaloStats` bitwise-match the storm-free run, proving
+//! retried fetches count exactly once).
 //!
 //! Writes `results/chaos_bench.json` (per-scenario verdicts) plus the
 //! standard telemetry exports, and exits non-zero on any SLO violation
@@ -49,7 +56,7 @@ use tlpgnn_bench as bench;
 use tlpgnn_graph::{generators, subgraph, Csr};
 use tlpgnn_serve::{
     GnnServer, GraphMutation, Request, RetryPolicy, ServeConfig, ServeError, ShardedConfig,
-    ShardedServer,
+    ShardedServer, SupervisorConfig,
 };
 use tlpgnn_tensor::Matrix;
 
@@ -291,7 +298,11 @@ impl ScenarioResult {
             let explained = match term.kind {
                 "response" if term.detail == "degraded" => has("degrade"),
                 "error" if term.detail.starts_with("device_fault") => has("fault"),
-                "error" if term.detail.starts_with("worker_lost") => has("salvage"),
+                // A worker-lost failure was either salvaged first or
+                // explicitly had no live buddy to salvage to.
+                "error" if term.detail.starts_with("worker_lost") => {
+                    has("salvage") || term.detail.contains("buddy=none")
+                }
                 "error" if term.detail.starts_with("deadline_exceeded") => has("shed"),
                 _ => true,
             };
@@ -1020,6 +1031,400 @@ fn dynamic(fx: &Fixture, args: &Args) -> ScenarioResult {
     r
 }
 
+/// The sharded-tier config the failover scenarios share: shard 0 dies
+/// at its first launch, every other device is clean, the cache is off
+/// so every answer runs through the extraction path under test, and the
+/// supervisor polls fast.
+fn shard_loss_config(
+    standby: bool,
+    respawns: u32,
+    breaker: u32,
+    args: &Args,
+    prefix: &str,
+) -> ShardedConfig {
+    let mut kill0 = vec![FaultPlan::none(); 4];
+    kill0[0] = FaultPlan::device_lost_at(0);
+    ShardedConfig {
+        shards: 4,
+        replicate_hot: 16,
+        standby,
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 64,
+        cache_capacity: 0,
+        per_shard_fault: Some(kill0),
+        retry: RetryPolicy {
+            max_retries: 64,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(200),
+            seed: args.seed,
+            ..RetryPolicy::default()
+        },
+        supervisor: SupervisorConfig {
+            max_respawns: respawns,
+            monitor_interval: Duration::from_millis(2),
+            slot_breaker_threshold: breaker,
+            ..SupervisorConfig::default()
+        },
+        metrics_prefix: prefix.to_string(),
+        ..ShardedConfig::default()
+    }
+}
+
+/// Scenario 9 — a shard worker dies mid-batch, twice over.
+///
+/// **Phase A (covered):** standby mirrors on, respawn budget available.
+/// The parked batch is salvaged to the buddy *exactly once* (one
+/// `shard_failover` event, validated against its chain), the answer —
+/// and every later one — is bitwise the single-device reference, the
+/// dead shard re-warms within budget, and no request fails or burns
+/// error budget.
+///
+/// **Phase B (uncovered):** no mirrors, no respawns, breaker threshold
+/// of one. The in-flight request fails loudly (`WorkerLost`, buddy=none),
+/// the shard is retired, and from then on requests needing its rows are
+/// served *partially* — flagged, never cached, never silently wrong —
+/// while untouched requests stay bitwise exact.
+fn shard_loss(fx: &Fixture, args: &Args) -> ScenarioResult {
+    let mut r = ScenarioResult::new("shard_loss");
+    // Vertex 0 (pool[0]) sits in shard 0's contiguous owned range, so
+    // this request always rides the dying worker.
+    let tripwire = fx.pool[0];
+
+    // ---- Phase A: standby buddy covers the loss. ----
+    let server = ShardedServer::start(
+        shard_loss_config(true, 2, 10, args, "chaos.shardloss.covered"),
+        fx.g.clone(),
+        fx.x.clone(),
+        fx.net.clone(),
+    );
+    r.check(
+        server.plan().owner_of(tripwire) == 0,
+        "tripwire vertex must be owned by the dying shard",
+    );
+    let outcome = match server.submit(Request::new(vec![tripwire])) {
+        Ok(h) => h.wait(),
+        Err(e) => Err(e),
+    };
+    match outcome {
+        Ok(resp) => {
+            let h = hash_row(resp.outputs.data());
+            r.check(
+                h == fx.expected_for(tripwire),
+                "salvaged answer differs from the fault-free reference",
+            );
+            r.check(
+                !resp.degraded.any(),
+                "buddy-covered failover must not be flagged",
+            );
+            r.log.push(format!(
+                "covered tripwire target={tripwire} outcome=ok hash={h:016x}"
+            ));
+        }
+        Err(e) => {
+            r.fails
+                .push(format!("salvaged request must resolve Ok, got {e}"));
+            r.log.push(format!(
+                "covered tripwire target={tripwire} outcome=err:{e}"
+            ));
+        }
+    }
+    let mut oks = 0u64;
+    for i in 0..args.requests {
+        let t = fx.target(args.seed ^ 0x10f5, i);
+        let outcome = match server.submit(Request::new(vec![t])) {
+            Ok(h) => h.wait(),
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok(resp) => {
+                oks += 1;
+                let h = hash_row(resp.outputs.data());
+                r.check(
+                    h == fx.expected_for(t) && !resp.degraded.any(),
+                    format!("covered req {i} target {t}: answer not bitwise-clean"),
+                );
+                r.log.push(format!(
+                    "covered req={i} target={t} outcome=ok hash={h:016x}"
+                ));
+            }
+            Err(e) => r
+                .log
+                .push(format!("covered req={i} target={t} outcome=err:{e}")),
+        }
+    }
+    let slo = server.slo_report();
+    let s = server.shutdown();
+    r.check(oks == args.requests as u64, "covered phase must serve all");
+    r.check(s.worker_deaths == 1, "exactly one death expected");
+    r.check(s.requeued == 1, "parked batch salvaged exactly once");
+    r.check(s.failovers == 1, "exactly one failover re-route");
+    r.check(s.worker_lost == 0, "covered loss must fail no request");
+    r.check(s.respawns == 1, "dead shard must re-warm within budget");
+    r.check(
+        s.partial == 0 && s.degraded == 0,
+        "covered loss degrades nothing",
+    );
+    r.check(
+        slo.total_errors == 0,
+        "covered failover must burn no error budget",
+    );
+    r.log.push(format!(
+        "covered completed={} deaths={} requeued={} failovers={} respawns={} worker_lost={}",
+        s.completed, s.worker_deaths, s.requeued, s.failovers, s.respawns, s.worker_lost
+    ));
+    let chains = r.validate_traces();
+    if telemetry::enabled() {
+        let failover_chains = chains
+            .iter()
+            .filter(|c| c.events.iter().any(|e| e.kind == "shard_failover"))
+            .count();
+        r.check(
+            failover_chains == 1,
+            format!("expected exactly 1 shard_failover chain, saw {failover_chains}"),
+        );
+    }
+    r.log_chains(chains);
+
+    // ---- Phase B: no mirror, no respawn — partial service. ----
+    let server = ShardedServer::start(
+        shard_loss_config(false, 0, 1, args, "chaos.shardloss.uncovered"),
+        fx.g.clone(),
+        fx.x.clone(),
+        fx.net.clone(),
+    );
+    let outcome = match server.submit(Request::new(vec![tripwire])) {
+        Ok(h) => h.wait(),
+        Err(e) => Err(e),
+    };
+    r.check(
+        matches!(outcome, Err(ServeError::WorkerLost)),
+        format!("uncovered in-flight request must fail WorkerLost, got {outcome:?}"),
+    );
+    r.log.push(format!(
+        "uncovered tripwire target={tripwire} outcome=err:{}",
+        ServeError::WorkerLost
+    ));
+    // Retirement is the monitor thread's call; wait for it off-log.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !server.shard_retired(0) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    r.check(
+        server.shard_retired(0),
+        "breaker must retire the dead shard",
+    );
+    // A vertex only shard 0 hosted: its answer must come back flagged
+    // partial (zero-filled unreachable rows), not as a hard error.
+    let dark = server
+        .plan()
+        .owned_range(0)
+        .map(|v| v as u32)
+        .find(|&v| !server.plan().is_replicated(v))
+        .expect("shard 0 owns an unreplicated vertex");
+    let outcome = match server.submit(Request::new(vec![dark])) {
+        Ok(h) => h.wait(),
+        Err(e) => Err(e),
+    };
+    match outcome {
+        Ok(resp) => {
+            r.check(
+                resp.degraded.partial,
+                "answer needing the dead shard's rows must be flagged partial",
+            );
+            r.log.push(format!(
+                "uncovered dark target={dark} outcome=ok hash={:016x} degraded={}",
+                hash_row(resp.outputs.data()),
+                resp.degraded.any()
+            ));
+        }
+        Err(e) => {
+            r.fails.push(format!(
+                "partial-service rung must degrade, not hard-error: got {e}"
+            ));
+            r.log
+                .push(format!("uncovered dark target={dark} outcome=err:{e}"));
+        }
+    }
+    let mut served = 0u64;
+    for i in 0..args.requests {
+        let t = fx.target(args.seed ^ 0xdacc, i);
+        let outcome = match server.submit(Request::new(vec![t])) {
+            Ok(h) => h.wait(),
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok(resp) => {
+                served += 1;
+                let h = hash_row(resp.outputs.data());
+                if !resp.degraded.any() {
+                    r.check(
+                        h == fx.expected_for(t),
+                        format!("uncovered req {i} target {t}: unflagged answer is wrong"),
+                    );
+                }
+                r.log.push(format!(
+                    "uncovered req={i} target={t} outcome=ok hash={h:016x} degraded={}",
+                    resp.degraded.any()
+                ));
+            }
+            Err(e) => r
+                .log
+                .push(format!("uncovered req={i} target={t} outcome=err:{e}")),
+        }
+    }
+    r.requests = 2 * args.requests as u64 + 3;
+    let slo = server.slo_report();
+    let s = server.shutdown();
+    r.check(
+        served == args.requests as u64,
+        "degraded tier must keep serving every request",
+    );
+    r.check(s.worker_lost == 1, "only the in-flight request fails hard");
+    r.check(s.partial >= 1, "the dead range must serve flagged-partial");
+    r.check(
+        s.device_faults == 0,
+        "partial service is not a device fault",
+    );
+    r.check(s.requeued == 0, "no buddy, nothing to salvage to");
+    r.check(s.respawns == 0, "no respawn budget to spend");
+    r.check(
+        slo.total_errors == 1,
+        format!("exactly the death burns budget, got {}", slo.total_errors),
+    );
+    r.log.push(format!(
+        "uncovered completed={} worker_lost={} partial={} device_faults={}",
+        s.completed, s.worker_lost, s.partial, s.device_faults
+    ));
+    let chains = r.validate_traces();
+    if telemetry::enabled() {
+        r.check(
+            !chains
+                .iter()
+                .any(|c| c.events.iter().any(|e| e.kind == "shard_failover")),
+            "no buddy: uncovered phase must never record a failover",
+        );
+    }
+    r.log_chains(chains);
+    r
+}
+
+/// Scenario 10 — a storm of transient halo-fetch timeouts on the
+/// simulated interconnect (45% per draw). Each faulted fetch aborts
+/// before any row moves and is retried under backoff, so the storm run
+/// must be *indistinguishable in output* from the calm run: every
+/// answer bitwise identical, and the aggregate `HaloStats` bitwise
+/// equal — the proof that a retried fetch contributes its sectors and
+/// bytes exactly once.
+fn halo_storm(fx: &Fixture, args: &Args) -> ScenarioResult {
+    let mut r = ScenarioResult::new("halo_storm");
+    let mk = |halo_fault: FaultPlan, prefix: &str| ShardedConfig {
+        shards: 4,
+        replicate_hot: 16,
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 64,
+        cache_capacity: 0,
+        halo_fault,
+        retry: RetryPolicy {
+            max_retries: 64,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(200),
+            seed: args.seed,
+            ..RetryPolicy::default()
+        },
+        metrics_prefix: prefix.to_string(),
+        ..ShardedConfig::default()
+    };
+    let run = |label: &str, cfg: ShardedConfig, r: &mut ScenarioResult| {
+        let server = ShardedServer::start(cfg, fx.g.clone(), fx.x.clone(), fx.net.clone());
+        let mut oks = 0u64;
+        for i in 0..args.requests {
+            let t = fx.target(args.seed ^ 0x4a10, i);
+            let outcome = match server.submit(Request::new(vec![t])) {
+                Ok(h) => h.wait(),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(resp) => {
+                    oks += 1;
+                    let h = hash_row(resp.outputs.data());
+                    r.check(
+                        h == fx.expected_for(t) && !resp.degraded.any(),
+                        format!("{label} req {i} target {t}: answer not bitwise-clean"),
+                    );
+                    r.log.push(format!(
+                        "{label} req={i} target={t} outcome=ok hash={h:016x}"
+                    ));
+                }
+                Err(e) => r
+                    .log
+                    .push(format!("{label} req={i} target={t} outcome=err:{e}")),
+            }
+        }
+        r.check(
+            oks == args.requests as u64,
+            format!("{label} run must serve every request"),
+        );
+        let slo = server.slo_report();
+        let stats = server.shutdown();
+        r.check(
+            slo.total_errors == 0,
+            format!("{label} run must burn no error budget"),
+        );
+        let chains = r.validate_traces();
+        r.log_chains(chains);
+        stats
+    };
+    let calm = run(
+        "calm",
+        mk(FaultPlan::none(), "chaos.halostorm.calm"),
+        &mut r,
+    );
+    let storm = run(
+        "storm",
+        mk(
+            FaultPlan::transient(args.seed ^ 0x4a10, 0.45),
+            "chaos.halostorm.storm",
+        ),
+        &mut r,
+    );
+    r.requests = 2 * args.requests as u64;
+    r.check(
+        storm.halo == calm.halo,
+        format!(
+            "retried halo fetches must count exactly once: calm {:?} vs storm {:?}",
+            calm.halo, storm.halo
+        ),
+    );
+    r.check(
+        storm.halo_retries > 0,
+        "a 45% fault rate must actually trigger halo retries",
+    );
+    r.check(calm.halo_retries == 0, "calm run must not retry");
+    r.check(
+        storm.device_faults == 0,
+        "the retry budget must absorb every halo timeout",
+    );
+    r.check(
+        storm.worker_deaths == 0,
+        "halo timeouts must not kill workers",
+    );
+    r.check(
+        storm.completed == calm.completed,
+        "storm served fewer requests",
+    );
+    r.log.push(format!(
+        "halo fetch_batches={} rows={} bytes={} calm_retries={} storm_retries={}",
+        storm.halo.fetch_batches,
+        storm.halo.fetched_rows,
+        storm.halo.fetched_bytes,
+        calm.halo_retries,
+        storm.halo_retries
+    ));
+    r
+}
+
 /// Independent CSR packer over the mirror's `(dst, src)` edge list.
 fn pack_mirror(n: usize, edges: &[(u32, u32)]) -> Csr {
     let mut es = edges.to_vec();
@@ -1044,6 +1449,8 @@ fn run_all(fx: &Fixture, args: &Args) -> Vec<ScenarioResult> {
         cache_poison(fx, args),
         sharded(fx, args),
         dynamic(fx, args),
+        shard_loss(fx, args),
+        halo_storm(fx, args),
     ]
 }
 

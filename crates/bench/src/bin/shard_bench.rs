@@ -42,7 +42,7 @@ use tlpgnn_graph::{generators, Csr};
 use tlpgnn_serve::{
     GnnServer, Request, ServeConfig, ServeError, ShardedConfig, ShardedServer, ZipfSampler,
 };
-use tlpgnn_shard::graph_bytes;
+use tlpgnn_shard::{graph_bytes, ShardPlan, ShardStore};
 use tlpgnn_tensor::Matrix;
 
 #[derive(Debug, Clone)]
@@ -176,7 +176,7 @@ fn sharded_config(args: &Args, prefix: &str) -> ShardedConfig {
 }
 
 /// Phase 1: the whole graph exceeds the device budget; each shard fits.
-fn capacity_phase(args: &Args, g: &Csr, server: &ShardedServer) -> Vec<String> {
+fn capacity_phase(args: &Args, g: &Csr, x: &Matrix, server: &ShardedServer) -> Vec<String> {
     let whole = graph_bytes(g, args.feat);
     let mut t = bench::Table::new(
         "shard_bench: capacity (device budget vs resident bytes)",
@@ -227,6 +227,28 @@ fn capacity_phase(args: &Args, g: &Csr, server: &ShardedServer) -> Vec<String> {
             "capacity: {} shards < the 4-device minimum this benchmark demonstrates",
             args.shards
         ));
+    }
+    // Failover coverage is not free: price the standby buddy mirrors
+    // (each shard's owned range duplicated on one buddy) against the
+    // same budget, so the capacity/resilience trade-off is explicit.
+    let standby_plan = ShardPlan::build_with_standby(g, args.shards, args.replicate_hot, true);
+    let standby_max = ShardStore::build_all(g, x, &standby_plan)
+        .iter()
+        .map(ShardStore::bytes)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "standby pricing: max shard store {} B -> {standby_max} B with buddy mirrors \
+         (fits budget: {})",
+        server.max_store_bytes(),
+        if standby_max <= args.budget_bytes {
+            "yes"
+        } else {
+            "NO — failover coverage needs more shards or budget"
+        }
+    );
+    if standby_max <= server.max_store_bytes() {
+        fails.push("capacity: standby mirrors must be priced into the store bytes".into());
     }
     fails
 }
@@ -472,7 +494,7 @@ fn main() {
         x.clone(),
         net.clone(),
     );
-    failures.extend(capacity_phase(&args, &g, &warm));
+    failures.extend(capacity_phase(&args, &g, &x, &warm));
     failures.extend(oracle_phase(&args, &warm, &g, &x, &net));
     drop(warm);
 
@@ -549,6 +571,31 @@ fn check_load(args: &Args, load: &LoadOutcome) -> Vec<String> {
         fails.push(format!(
             "load: no halo traffic across {} shards (batches {}, bytes {})",
             args.shards, h.fetch_batches, h.fetched_bytes
+        ));
+    }
+    // No faults are injected here, so the failover layer must be
+    // bitwise-invisible: every one of its counters stays at zero.
+    let s = &load.stats;
+    if s.worker_deaths != 0
+        || s.failovers != 0
+        || s.requeued != 0
+        || s.worker_lost != 0
+        || s.retries != 0
+        || s.halo_retries != 0
+        || s.partial != 0
+        || s.degraded != 0
+    {
+        fails.push(format!(
+            "load: clean run engaged the failover layer (deaths {}, failovers {}, \
+             requeued {}, worker_lost {}, retries {}, halo_retries {}, partial {}, degraded {})",
+            s.worker_deaths,
+            s.failovers,
+            s.requeued,
+            s.worker_lost,
+            s.retries,
+            s.halo_retries,
+            s.partial,
+            s.degraded
         ));
     }
     fails

@@ -95,12 +95,18 @@ pub struct Degradation {
     /// At least one target row was computed from a seeded fanout-capped
     /// neighbor-sampled extraction (the `Sampled` degradation rung).
     pub sampled: bool,
+    /// The sharded tier's shard-aware rung: the request's receptive
+    /// field needed rows owned by a dead shard that no live standby
+    /// mirror covers. The missing neighbors were dropped and their
+    /// feature rows gathered as zeros — `Sampled`-style partial service
+    /// instead of a hard error. Partial rows are never cached.
+    pub partial: bool,
 }
 
 impl Degradation {
     /// Whether any degradation measure applied.
     pub fn any(&self) -> bool {
-        self.stale_cache || self.reduced_hops || self.sampled
+        self.stale_cache || self.reduced_hops || self.sampled || self.partial
     }
 }
 

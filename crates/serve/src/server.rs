@@ -1275,6 +1275,9 @@ fn process_batch(engine: &mut TlpgnnEngine, shared: &Shared, batch: Batch) -> Pr
             // were full-fidelity when computed (sampled rows never enter
             // the cache).
             sampled: sampling && targets.iter().any(|t| miss_set.contains(t)),
+            // Partial service is the sharded tier's rung; a
+            // single-device server always has its whole graph.
+            partial: false,
         };
         if degraded.any() {
             shared.degraded.fetch_add(1, Ordering::Relaxed);

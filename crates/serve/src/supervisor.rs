@@ -4,9 +4,10 @@
 //! budget is spent.
 //!
 //! The supervisor is deliberately generic: it knows nothing about
-//! requests or engines. The server provides three callbacks — `spawn` (to
+//! requests or engines. The server provides callbacks — `spawn` (to
 //! start a worker in a slot), `on_death` (to salvage the in-flight
-//! batch), and `tick` (to feed pool health into the degradation
+//! batch), `on_retire` (to steer routing away from a permanently dead
+//! slot), and `tick` (to feed pool health into the degradation
 //! controller) — and the supervisor owns the lifecycle: a monitor thread
 //! polls worker handles, joins finished ones, and classifies the exit.
 
@@ -118,6 +119,11 @@ pub type SpawnFn = Box<dyn Fn(usize, u32, bool) -> JoinHandle<WorkerExit> + Send
 /// Salvage a dead worker's state: `(slot, cause)`; called exactly once
 /// per death, before any replacement starts.
 pub type DeathFn = Box<dyn Fn(usize, DeathCause) + Send + Sync>;
+/// Slot retirement notification: `(slot)`; called exactly once when a
+/// slot is permanently taken out of rotation (circuit open or respawn
+/// budget spent), after the death's `DeathFn`. Routing layers use it to
+/// steer new work away from the dead slot.
+pub type RetireFn = Box<dyn Fn(usize) + Send + Sync>;
 /// Health observation callback, invoked once per monitor poll.
 pub type TickFn = Box<dyn Fn(HealthSnapshot) + Send + Sync>;
 
@@ -133,6 +139,7 @@ struct Inner {
     panics: AtomicU64,
     spawn: SpawnFn,
     on_death: DeathFn,
+    on_retire: RetireFn,
     tick: TickFn,
 }
 
@@ -150,6 +157,20 @@ impl Supervisor {
         workers: usize,
         spawn: SpawnFn,
         on_death: DeathFn,
+        tick: TickFn,
+    ) -> Self {
+        Self::start_with_retire(cfg, workers, spawn, on_death, Box::new(|_| {}), tick)
+    }
+
+    /// [`start`](Self::start) plus a retirement hook, for callers that
+    /// route work by slot (the sharded tier) and must learn when a slot
+    /// permanently leaves rotation.
+    pub fn start_with_retire(
+        cfg: SupervisorConfig,
+        workers: usize,
+        spawn: SpawnFn,
+        on_death: DeathFn,
+        on_retire: RetireFn,
         tick: TickFn,
     ) -> Self {
         let slots = (0..workers)
@@ -170,6 +191,7 @@ impl Supervisor {
             panics: AtomicU64::new(0),
             spawn,
             on_death,
+            on_retire,
             tick,
         });
         let monitor = {
@@ -330,8 +352,11 @@ fn poll_once(inner: &Inner) {
         if tripped {
             telemetry::counter_add("serve.supervisor.circuit_open", 1);
             telemetry::flight::trigger("circuit_open");
-            let mut slots = lock_slots(inner);
-            slots[i].state = SlotState::Dead;
+            {
+                let mut slots = lock_slots(inner);
+                slots[i].state = SlotState::Dead;
+            }
+            (inner.on_retire)(i);
             continue;
         }
         // Claim a respawn slot atomically: drain() and the monitor may
@@ -350,8 +375,11 @@ fn poll_once(inner: &Inner) {
             slots[i].generation = generation;
             slots[i].handle = Some((inner.spawn)(i, generation, inner.cfg.respawn_healthy));
         } else {
-            let mut slots = lock_slots(inner);
-            slots[i].state = SlotState::Dead;
+            {
+                let mut slots = lock_slots(inner);
+                slots[i].state = SlotState::Dead;
+            }
+            (inner.on_retire)(i);
         }
     }
 }
@@ -448,6 +476,34 @@ mod tests {
         assert_eq!(sup.lost_devices(), 2);
         assert_eq!(sup.health().dead, 1);
         sup.stop();
+    }
+
+    #[test]
+    fn retire_hook_fires_exactly_once_at_both_retirement_sites() {
+        // Budget exhaustion retires the slot.
+        for breaker in [10u32, 1] {
+            let retired = Arc::new(Mutex::new(Vec::new()));
+            let r = Arc::clone(&retired);
+            let (on_death, tick) = idle_callbacks();
+            let sup = Supervisor::start_with_retire(
+                SupervisorConfig {
+                    max_respawns: 0,
+                    monitor_interval: Duration::from_micros(200),
+                    respawn_healthy: true,
+                    // breaker=10: budget exhaustion retires; breaker=1:
+                    // the circuit opens first. Both must fire the hook.
+                    slot_breaker_threshold: breaker,
+                },
+                1,
+                Box::new(|_, _, _| thread::spawn(|| WorkerExit::DeviceLost)),
+                on_death,
+                Box::new(move |slot| r.lock().unwrap().push(slot)),
+                tick,
+            );
+            sup.drain();
+            assert_eq!(*retired.lock().unwrap(), vec![0]);
+            sup.stop();
+        }
     }
 
     #[test]

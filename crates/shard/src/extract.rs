@@ -14,6 +14,14 @@
 //! and gathered feature matrix are bitwise equal to the single-device
 //! extraction — sharding changes where bytes live, never what the
 //! engine computes.
+//!
+//! [`distributed_ego_with_health`] extends the same traversal across
+//! device loss: rows owned by a dead shard are served from the standby
+//! buddy's mirror when the plan carries one (bitwise copies, so covered
+//! results stay bitwise equal), and counted in
+//! [`HaloStats::missing_rows`] / [`HaloStats::missing_features`] when
+//! nothing live holds them — the partial-service signal the serve tier
+//! flags instead of failing.
 
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -41,6 +49,15 @@ pub struct HaloStats {
     pub replica_hits: u64,
     /// Lookups served by the home shard's owned range.
     pub local_hits: u64,
+    /// Lookups served by the home shard's standby mirror of its buddy's
+    /// range (local reads; always 0 without a standby plan).
+    pub mirror_hits: u64,
+    /// Adjacency rows that could not be served from anywhere: their
+    /// owner is dead and no live shard mirrors them. The BFS treats
+    /// them as empty rows — the extraction is *partial*.
+    pub missing_rows: u64,
+    /// Feature rows that could not be served; gathered as zeros.
+    pub missing_features: u64,
 }
 
 impl HaloStats {
@@ -52,32 +69,63 @@ impl HaloStats {
         self.fetched_bytes += other.fetched_bytes;
         self.replica_hits += other.replica_hits;
         self.local_hits += other.local_hits;
+        self.mirror_hits += other.mirror_hits;
+        self.missing_rows += other.missing_rows;
+        self.missing_features += other.missing_features;
     }
 
     /// Remote lookups of either kind (adjacency + feature rows).
     pub fn remote_lookups(&self) -> u64 {
         self.fetched_rows + self.fetched_features
     }
+
+    /// Rows of either kind that no live shard could serve. Non-zero
+    /// means the extraction was partial and every response built from
+    /// it must carry a degraded/partial flag.
+    pub fn missing(&self) -> u64 {
+        self.missing_rows + self.missing_features
+    }
 }
 
-/// Read `v`'s adjacency row from the home store when hosted there,
-/// otherwise from its owner (the simulated remote fetch).
-fn hosted_row<'a>(stores: &'a [ShardStore], plan: &ShardPlan, home: usize, v: u32) -> &'a [u32] {
-    if stores[home].hosts(v) {
-        stores[home].row(v)
+/// The shard a lookup for `v` is served *from* when `home` does not
+/// hold it: the owner when its device is alive, else the owner's
+/// standby buddy, else nobody (`None` — the row is unreachable).
+fn serving_shard(plan: &ShardPlan, alive: &[bool], v: u32) -> Option<usize> {
+    let owner = plan.owner_of(v);
+    if alive[owner] {
+        Some(owner)
     } else {
-        stores[plan.owner_of(v)].row(v)
+        plan.buddy_of(owner).filter(|&b| alive[b])
+    }
+}
+
+/// Read `v`'s adjacency row from the home store when hosted there
+/// (owned, replica, or standby mirror), otherwise from whichever live
+/// shard serves it. `None` when the row is unreachable.
+fn hosted_row<'a>(
+    stores: &'a [ShardStore],
+    plan: &ShardPlan,
+    home: usize,
+    alive: &[bool],
+    v: u32,
+) -> Option<&'a [u32]> {
+    if stores[home].hosts(v) {
+        Some(stores[home].row(v))
+    } else {
+        serving_shard(plan, alive, v).map(|s| stores[s].row(v))
     }
 }
 
 /// Account one BFS level's adjacency-row needs: rows already fetched
-/// are free, hosted rows count as local/replica hits, and the rest are
-/// grouped into one batch per remote owner.
+/// are free, hosted rows count as local/replica/mirror hits, the rest
+/// are grouped into one batch per serving remote shard, and rows no
+/// live shard can serve count as missing.
 fn account_rows(
     need: &[u32],
     stores: &[ShardStore],
     plan: &ShardPlan,
     home: usize,
+    alive: &[bool],
     fetched: &mut HashSet<u32>,
     stats: &mut HaloStats,
 ) {
@@ -88,13 +136,19 @@ fn account_rows(
         }
         if stores[home].owns(v) {
             stats.local_hits += 1;
-        } else if stores[home].hosts(v) {
+        } else if plan.is_replicated(v) {
             stats.replica_hits += 1;
+        } else if stores[home].mirrors(v) {
+            stats.mirror_hits += 1;
         } else {
-            let owner = plan.owner_of(v);
-            let e = remote.entry(owner).or_insert((0, 0));
-            e.0 += 1;
-            e.1 += stores[owner].row(v).len() as u64 * 4;
+            match serving_shard(plan, alive, v) {
+                Some(s) => {
+                    let e = remote.entry(s).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += stores[s].row(v).len() as u64 * 4;
+                }
+                None => stats.missing_rows += 1,
+            }
         }
     }
     for &(rows, bytes) in remote.values() {
@@ -122,8 +176,41 @@ pub fn distributed_ego(
     targets: &[u32],
     hops: usize,
 ) -> (EgoGraph, Matrix, HaloStats) {
+    let alive = vec![true; plan.shards()];
+    distributed_ego_with_health(plan, stores, home, targets, hops, &alive)
+}
+
+/// [`distributed_ego`] with a per-shard liveness mask: rows owned by a
+/// dead shard are served from its standby buddy's mirror when the plan
+/// has one (counted as remote fetches from the buddy, or
+/// [`HaloStats::mirror_hits`] when `home` *is* the buddy), and counted
+/// missing otherwise — the BFS then treats them as empty rows and the
+/// feature gather leaves zeros, so the caller must flag the response
+/// partial whenever [`HaloStats::missing`] is non-zero.
+///
+/// With every shard alive this is exactly [`distributed_ego`]: the
+/// failover paths never engage and the result is bitwise identical to
+/// the single-device extraction. When a dead shard's rows are all
+/// covered by live mirrors the traversal is *still* order-identical
+/// and mirror rows are bitwise copies, so the result stays bitwise
+/// equal to the fault-free reference — only the accounting moves.
+///
+/// # Panics
+/// Panics on the same conditions as [`distributed_ego`], if `alive`
+/// does not have one entry per shard, or if the home shard itself is
+/// marked dead (a dead shard cannot run an extraction).
+pub fn distributed_ego_with_health(
+    plan: &ShardPlan,
+    stores: &[ShardStore],
+    home: usize,
+    targets: &[u32],
+    hops: usize,
+    alive: &[bool],
+) -> (EgoGraph, Matrix, HaloStats) {
     assert_eq!(stores.len(), plan.shards(), "stores must match the plan");
     assert!(home < stores.len(), "home shard out of range");
+    assert_eq!(alive.len(), plan.shards(), "liveness mask must match");
+    assert!(alive[home], "the home shard must be alive to extract");
     let n = plan.num_vertices();
     let mut stats = HaloStats::default();
     let mut fetched: HashSet<u32> = HashSet::new();
@@ -152,12 +239,13 @@ pub fn distributed_ego(
             stores,
             plan,
             home,
+            alive,
             &mut fetched,
             &mut stats,
         );
         for i in frontier..level_end {
             let v = vertices[i];
-            for &u in hosted_row(stores, plan, home, v) {
+            for &u in hosted_row(stores, plan, home, alive, v).unwrap_or(&[]) {
                 if let Entry::Vacant(e) = local.entry(u) {
                     e.insert(vertices.len() as u32);
                     vertices.push(u);
@@ -174,13 +262,21 @@ pub fn distributed_ego(
     // The induced-CSR build reads every extracted vertex's row; rows
     // the BFS never expanded (the final frontier) are fetched in one
     // more batched round per remote shard.
-    account_rows(&vertices, stores, plan, home, &mut fetched, &mut stats);
+    account_rows(
+        &vertices,
+        stores,
+        plan,
+        home,
+        alive,
+        &mut fetched,
+        &mut stats,
+    );
     let mut indptr = Vec::with_capacity(vertices.len() + 1);
     indptr.push(0u32);
     let mut indices = Vec::new();
     for &orig in &vertices {
         let start = indices.len();
-        for &u in hosted_row(stores, plan, home, orig) {
+        for &u in hosted_row(stores, plan, home, alive, orig).unwrap_or(&[]) {
             if let Some(&l) = local.get(&u) {
                 indices.push(l);
             }
@@ -198,15 +294,29 @@ pub fn distributed_ego(
         let src = if stores[home].hosts(v) {
             if stores[home].owns(v) {
                 stats.local_hits += 1;
-            } else {
+            } else if plan.is_replicated(v) {
                 stats.replica_hits += 1;
+            } else {
+                stats.mirror_hits += 1;
             }
-            stores[home].feature_row(v)
+            Some(stores[home].feature_row(v))
         } else {
-            *remote.entry(plan.owner_of(v)).or_insert(0) += 1;
-            stores[plan.owner_of(v)].feature_row(v)
+            match serving_shard(plan, alive, v) {
+                Some(s) => {
+                    *remote.entry(s).or_insert(0) += 1;
+                    Some(stores[s].feature_row(v))
+                }
+                None => {
+                    // Unreachable feature row: left as zeros, flagged
+                    // through `missing_features`.
+                    stats.missing_features += 1;
+                    None
+                }
+            }
         };
-        feats.row_mut(i).copy_from_slice(src);
+        if let Some(src) = src {
+            feats.row_mut(i).copy_from_slice(src);
+        }
     }
     for &rows in remote.values() {
         stats.fetch_batches += 1;
@@ -301,6 +411,78 @@ mod tests {
             replicated.remote_lookups()
         );
         assert!(replicated.replica_hits > 0);
+    }
+
+    #[test]
+    fn dead_shard_covered_by_buddy_mirror_stays_bitwise_equal() {
+        let g = generators::rmat_default(400, 3200, 29);
+        let x = Matrix::random(400, 6, 1.0, 3);
+        let plan = ShardPlan::build_with_standby(&g, 4, 8, true);
+        let stores = ShardStore::build_all(&g, &x, &plan);
+        for dead in 0..4usize {
+            let mut alive = [true; 4];
+            alive[dead] = false;
+            let home = plan.buddy_of(dead).unwrap();
+            for (targets, hops) in [(vec![0u32, 399, 17], 2usize), (vec![200], 3)] {
+                let (ego, feats, stats) =
+                    distributed_ego_with_health(&plan, &stores, home, &targets, hops, &alive);
+                assert_eq!(stats.missing(), 0, "one dead shard is fully mirrored");
+                let want = ego_graph(&g, &targets, hops);
+                assert_eq!(ego.vertices, want.vertices);
+                assert_eq!(ego.hop, want.hop);
+                assert_eq!(ego.csr.indptr(), want.csr.indptr());
+                assert_eq!(ego.csr.indices(), want.csr.indices());
+                for (i, &v) in ego.vertices.iter().enumerate() {
+                    assert_eq!(feats.row(i), x.row(v as usize));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_unmirrored_shard_counts_missing_rows() {
+        let g = generators::rmat_default(400, 3200, 29);
+        let x = Matrix::random(400, 6, 1.0, 3);
+        let plan = ShardPlan::build(&g, 4, 0); // no standby, no hot set
+        let stores = ShardStore::build_all(&g, &x, &plan);
+        let dead = 3usize;
+        let mut alive = [true; 4];
+        alive[dead] = false;
+        // A seed owned by the dead shard, extracted elsewhere: its own
+        // row is unreachable, so the extraction must report missing.
+        let seed = plan.owned_range(dead).start as u32;
+        let (ego, feats, stats) =
+            distributed_ego_with_health(&plan, &stores, 0, &[seed], 2, &alive);
+        assert!(stats.missing() > 0, "unmirrored dead rows must be flagged");
+        assert_eq!(ego.vertices[0], seed);
+        assert!(
+            feats.row(0).iter().all(|&z| z == 0.0),
+            "unreachable feature rows gather as zeros"
+        );
+        // All-alive on the same plan stays exact: missing only appears
+        // under loss.
+        let (_, _, clean) = distributed_ego(&plan, &stores, 0, &[seed], 2);
+        assert_eq!(clean.missing(), 0);
+        assert_eq!(clean.mirror_hits, 0);
+    }
+
+    #[test]
+    fn standby_mirror_serves_locally_when_all_alive() {
+        let g = generators::rmat_default(400, 3200, 29);
+        let x = Matrix::random(400, 6, 1.0, 3);
+        let plan = ShardPlan::build_with_standby(&g, 4, 0, true);
+        let stores = ShardStore::build_all(&g, &x, &plan);
+        let mut total = HaloStats::default();
+        for t in 0..40u32 {
+            let home = plan.route(&[t]);
+            let (_, _, s) = distributed_ego(&plan, &stores, home, &[t], 2);
+            total.accumulate(&s);
+        }
+        assert!(
+            total.mirror_hits > 0,
+            "the standby mirror doubles as free local bandwidth"
+        );
+        assert_eq!(total.missing(), 0);
     }
 
     #[test]

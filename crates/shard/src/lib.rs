@@ -18,6 +18,13 @@
 //!   BFS level and per remote shard, and accounting every fetch in
 //!   [`HaloStats`]. Its output is bitwise identical to the
 //!   single-device `ego_graph` on the unpartitioned graph.
+//! * **Standby replicas** (`ShardPlan::build_with_standby`): each
+//!   shard's owned range is mirrored in full on one buddy shard, priced
+//!   against the device budget. [`distributed_ego_with_health`] then
+//!   serves a dead shard's rows from the buddy's mirror (bitwise
+//!   copies, so covered extractions stay bitwise exact) and reports
+//!   anything unreachable via [`HaloStats::missing`] for the serve tier
+//!   to flag as partial service.
 //!
 //! The serve tier (`tlpgnn-serve::sharded`) builds a router on top:
 //! requests route to the shard owning their seed vertex, and each
@@ -29,6 +36,6 @@ pub mod extract;
 pub mod plan;
 pub mod store;
 
-pub use extract::{distributed_ego, HaloStats};
+pub use extract::{distributed_ego, distributed_ego_with_health, HaloStats};
 pub use plan::ShardPlan;
 pub use store::{graph_bytes, ShardStore};

@@ -14,12 +14,26 @@ use tlpgnn_graph::Csr;
 /// appear on a disproportionate share of ego-graph frontiers, so
 /// mirroring their rows converts the most frequent remote fetches into
 /// local reads.
+///
+/// A plan may additionally carry a **standby-replica assignment**: each
+/// shard's owned range is mirrored in full on exactly one *buddy*
+/// shard, so losing a device does not lose exclusive access to any part
+/// of the graph. The assignment is a derangement (no shard buddies
+/// itself) and a bijection (every shard's range is mirrored exactly
+/// once, and every shard carries exactly one mirror) — redundancy
+/// priced against device memory, checked by [`validate`].
+///
+/// [`validate`]: ShardPlan::validate
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardPlan {
     partition: VertexPartition,
     num_vertices: usize,
     /// Sorted original ids of the replicated hot set.
     replicated: Vec<u32>,
+    /// `standby[p]` is the buddy shard mirroring `p`'s owned range.
+    /// Empty when the plan carries no standby assignment (or there is
+    /// only one shard, which has nowhere to mirror to).
+    standby: Vec<usize>,
 }
 
 impl ShardPlan {
@@ -30,6 +44,18 @@ impl ShardPlan {
     /// # Panics
     /// Panics if `shards` is zero.
     pub fn build(g: &Csr, shards: usize, replicate_hot: usize) -> Self {
+        Self::build_with_standby(g, shards, replicate_hot, false)
+    }
+
+    /// [`build`](Self::build), optionally with a standby-replica
+    /// assignment: when `standby` is true and there are at least two
+    /// shards, shard `p`'s owned range is mirrored on buddy shard
+    /// `(p + 1) % shards` (a ring derangement). At one shard the flag
+    /// is a no-op — there is no second device to mirror to.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn build_with_standby(g: &Csr, shards: usize, replicate_hot: usize, standby: bool) -> Self {
         assert!(shards >= 1, "need at least one shard");
         let partition = edge_balanced_partition(g, shards);
         let n = g.num_vertices();
@@ -42,10 +68,16 @@ impl ShardPlan {
         });
         let mut replicated = by_degree[..k].to_vec();
         replicated.sort_unstable();
+        let standby = if standby && shards >= 2 {
+            (0..shards).map(|p| (p + 1) % shards).collect()
+        } else {
+            Vec::new()
+        };
         Self {
             partition,
             num_vertices: n,
             replicated,
+            standby,
         }
     }
 
@@ -85,6 +117,27 @@ impl ShardPlan {
         self.replicated.binary_search(&v).is_ok()
     }
 
+    /// Whether this plan carries a standby-replica assignment.
+    pub fn has_standby(&self) -> bool {
+        !self.standby.is_empty()
+    }
+
+    /// The buddy shard holding a full standby mirror of shard `p`'s
+    /// owned range, or `None` when the plan has no standby assignment.
+    pub fn buddy_of(&self, p: usize) -> Option<usize> {
+        self.standby.get(p).copied()
+    }
+
+    /// The shard whose owned range shard `b` mirrors (the inverse of
+    /// [`buddy_of`](Self::buddy_of)), or `None` without standby.
+    pub fn mirror_source(&self, b: usize) -> Option<usize> {
+        if self.standby.is_empty() {
+            None
+        } else {
+            self.standby.iter().position(|&buddy| buddy == b)
+        }
+    }
+
     /// Route a request to the shard owning its seed (first) target.
     ///
     /// # Panics
@@ -96,8 +149,10 @@ impl ShardPlan {
 
     /// Check the plan's structural invariants: the partition covers
     /// `[0, num_vertices)` with monotone bounds, every vertex's owner
-    /// range actually contains it, and the replication set is strictly
-    /// sorted and in range. Returns the first violation.
+    /// range actually contains it, the replication set is strictly
+    /// sorted and in range, and any standby assignment is a bijective
+    /// derangement over the shards (every range mirrored exactly once,
+    /// never onto its own device). Returns the first violation.
     pub fn validate(&self) -> Result<(), String> {
         self.partition.validate()?;
         if self.partition.num_vertices() != self.num_vertices {
@@ -128,6 +183,31 @@ impl ShardPlan {
         if let Some(&last) = self.replicated.last() {
             if last as usize >= self.num_vertices {
                 return Err(format!("replicated vertex {last} out of range"));
+            }
+        }
+        if !self.standby.is_empty() {
+            if self.standby.len() != self.shards() {
+                return Err(format!(
+                    "standby assignment covers {} shards, plan has {}",
+                    self.standby.len(),
+                    self.shards()
+                ));
+            }
+            let mut mirrored_on = vec![0usize; self.shards()];
+            for (p, &b) in self.standby.iter().enumerate() {
+                if b >= self.shards() {
+                    return Err(format!("shard {p}'s buddy {b} is out of range"));
+                }
+                if b == p {
+                    return Err(format!("shard {p} is its own standby buddy"));
+                }
+                mirrored_on[b] += 1;
+            }
+            if let Some(b) = mirrored_on.iter().position(|&c| c != 1) {
+                return Err(format!(
+                    "shard {b} carries {} standby mirrors (want exactly 1)",
+                    mirrored_on[b]
+                ));
             }
         }
         Ok(())
@@ -181,6 +261,34 @@ mod tests {
         for v in 0..100u32 {
             assert_eq!(plan.owner_of(v), 0);
         }
+    }
+
+    #[test]
+    fn standby_assignment_is_a_bijective_derangement() {
+        let g = generators::rmat_default(400, 3000, 13);
+        let plan = ShardPlan::build_with_standby(&g, 4, 8, true);
+        plan.validate().unwrap();
+        assert!(plan.has_standby());
+        let mut seen = [false; 4];
+        for p in 0..4 {
+            let b = plan.buddy_of(p).unwrap();
+            assert_ne!(b, p, "a shard cannot mirror itself");
+            assert!(!seen[b], "shard {b} carries two mirrors");
+            seen[b] = true;
+            assert_eq!(plan.mirror_source(b), Some(p));
+        }
+    }
+
+    #[test]
+    fn standby_is_a_noop_without_the_flag_or_at_one_shard() {
+        let g = generators::erdos_renyi(100, 700, 3);
+        let plain = ShardPlan::build(&g, 4, 8);
+        assert!(!plain.has_standby());
+        assert_eq!(plain.buddy_of(0), None);
+        assert_eq!(plain.mirror_source(0), None);
+        let single = ShardPlan::build_with_standby(&g, 1, 8, true);
+        single.validate().unwrap();
+        assert!(!single.has_standby(), "one shard has no buddy to mirror to");
     }
 
     #[test]

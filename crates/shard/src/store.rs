@@ -13,6 +13,14 @@ use tlpgnn_tensor::Matrix;
 /// Replicas carry both the adjacency row and the feature row, so a
 /// BFS expansion or feature gather touching a hot vertex never leaves
 /// the device.
+///
+/// Under a standby plan ([`ShardPlan::has_standby`]) the store also
+/// carries a full **standby mirror** of one buddy shard's owned range
+/// (adjacency + features, bitwise copies), so the buddy's rows stay
+/// servable after its device is lost. Mirror bytes count against the
+/// device budget like everything else resident here ([`bytes`]).
+///
+/// [`bytes`]: ShardStore::bytes
 #[derive(Debug, Clone)]
 pub struct ShardStore {
     shard: usize,
@@ -27,6 +35,13 @@ pub struct ShardStore {
     replica_indptr: Vec<u32>,
     replica_indices: Vec<u32>,
     replica_features: Vec<f32>,
+    /// Standby mirror of the buddy range `[mirror_start, mirror_end)`
+    /// (empty without a standby plan).
+    mirror_start: u32,
+    mirror_end: u32,
+    mirror_indptr: Vec<u32>,
+    mirror_indices: Vec<u32>,
+    mirror_features: Vec<f32>,
 }
 
 impl ShardStore {
@@ -77,6 +92,27 @@ impl ShardStore {
                     replica_indptr.push(replica_indices.len() as u32);
                     replica_features.extend_from_slice(x.row(v as usize));
                 }
+                // Standby mirror: a bitwise copy of the buddy-source
+                // shard's owned range, sliced the same way as owned
+                // storage so failover reads are byte-identical.
+                let (mirror_start, mirror_end, mirror_indptr, mirror_indices, mirror_features) =
+                    match plan.mirror_source(p) {
+                        Some(src) => {
+                            let mrange = plan.owned_range(src);
+                            let (ms, me) = (mrange.start as u32, mrange.end as u32);
+                            let mut mindptr = Vec::with_capacity(mrange.len() + 1);
+                            mindptr.push(0u32);
+                            let mut mindices = Vec::new();
+                            let mut mfeatures = Vec::with_capacity(mrange.len() * f);
+                            for v in mrange {
+                                mindices.extend_from_slice(g.neighbors(v));
+                                mindptr.push(mindices.len() as u32);
+                                mfeatures.extend_from_slice(x.row(v));
+                            }
+                            (ms, me, mindptr, mindices, mfeatures)
+                        }
+                        None => (0, 0, Vec::new(), Vec::new(), Vec::new()),
+                    };
                 ShardStore {
                     shard: p,
                     start,
@@ -89,6 +125,11 @@ impl ShardStore {
                     replica_indptr,
                     replica_indices,
                     replica_features,
+                    mirror_start,
+                    mirror_end,
+                    mirror_indptr,
+                    mirror_indices,
+                    mirror_features,
                 }
             })
             .collect()
@@ -123,14 +164,25 @@ impl ShardStore {
         self.replica_ids.binary_search(&v).ok()
     }
 
-    /// Whether a lookup for `v` can be served locally (owned or
-    /// replicated here).
+    /// Whether a lookup for `v` can be served locally (owned,
+    /// replicated, or standby-mirrored here).
     pub fn hosts(&self, v: u32) -> bool {
-        self.owns(v) || self.replica_index(v).is_some()
+        self.owns(v) || self.replica_index(v).is_some() || self.mirrors(v)
     }
 
-    /// In-neighbor row of `v` (global source ids), from owned storage
-    /// or a replica.
+    /// Whether `v` falls in the buddy range this store carries a
+    /// standby mirror of. Always false without a standby plan.
+    pub fn mirrors(&self, v: u32) -> bool {
+        v >= self.mirror_start && v < self.mirror_end
+    }
+
+    /// Vertices in this store's standby mirror (0 without standby).
+    pub fn num_mirrored(&self) -> usize {
+        (self.mirror_end - self.mirror_start) as usize
+    }
+
+    /// In-neighbor row of `v` (global source ids), from owned storage,
+    /// a replica, or the standby mirror.
     ///
     /// # Panics
     /// Panics if `v` is not hosted here — callers must go through the
@@ -142,12 +194,16 @@ impl ShardStore {
         } else if let Some(i) = self.replica_index(v) {
             &self.replica_indices
                 [self.replica_indptr[i] as usize..self.replica_indptr[i + 1] as usize]
+        } else if self.mirrors(v) {
+            let i = (v - self.mirror_start) as usize;
+            &self.mirror_indices[self.mirror_indptr[i] as usize..self.mirror_indptr[i + 1] as usize]
         } else {
             panic!("vertex {v} is not hosted on shard {}", self.shard)
         }
     }
 
-    /// Feature row of `v`, from owned storage or a replica.
+    /// Feature row of `v`, from owned storage, a replica, or the
+    /// standby mirror.
     ///
     /// # Panics
     /// Panics if `v` is not hosted here.
@@ -157,21 +213,27 @@ impl ShardStore {
             &self.features[i * self.feat_dim..(i + 1) * self.feat_dim]
         } else if let Some(i) = self.replica_index(v) {
             &self.replica_features[i * self.feat_dim..(i + 1) * self.feat_dim]
+        } else if self.mirrors(v) {
+            let i = (v - self.mirror_start) as usize;
+            &self.mirror_features[i * self.feat_dim..(i + 1) * self.feat_dim]
         } else {
             panic!("vertex {v} is not hosted on shard {}", self.shard)
         }
     }
 
-    /// Resident bytes of this store: owned + replica adjacency (u32)
-    /// and features (f32). This is the figure a per-device memory
-    /// budget is checked against.
+    /// Resident bytes of this store: owned + replica + standby-mirror
+    /// adjacency (u32) and features (f32). This is the figure a
+    /// per-device memory budget is checked against — standby redundancy
+    /// is priced, not free.
     pub fn bytes(&self) -> u64 {
         let words = self.indptr.len()
             + self.indices.len()
             + self.replica_ids.len()
             + self.replica_indptr.len()
-            + self.replica_indices.len();
-        let floats = self.features.len() + self.replica_features.len();
+            + self.replica_indices.len()
+            + self.mirror_indptr.len()
+            + self.mirror_indices.len();
+        let floats = self.features.len() + self.replica_features.len() + self.mirror_features.len();
         (words * 4 + floats * 4) as u64
     }
 }
@@ -237,6 +299,41 @@ mod tests {
                 "shard {} holds {} bytes, whole graph is {whole}",
                 s.shard(),
                 s.bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn standby_mirrors_are_bitwise_copies_of_the_buddy_range() {
+        let g = generators::rmat_default(300, 2400, 17);
+        let x = Matrix::random(300, 5, 1.0, 11);
+        let plan = ShardPlan::build_with_standby(&g, 4, 8, true);
+        let stores = ShardStore::build_all(&g, &x, &plan);
+        for p in 0..4 {
+            let b = plan.buddy_of(p).unwrap();
+            let buddy = &stores[b];
+            assert_eq!(buddy.num_mirrored(), stores[p].num_owned());
+            for v in plan.owned_range(p) {
+                let v = v as u32;
+                assert!(buddy.mirrors(v), "buddy {b} must mirror {v}");
+                assert!(buddy.hosts(v));
+                assert_eq!(buddy.row(v), g.neighbors(v as usize));
+                assert_eq!(buddy.feature_row(v), x.row(v as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn standby_mirror_bytes_are_priced() {
+        let g = generators::rmat_default(300, 2400, 17);
+        let x = Matrix::random(300, 5, 1.0, 11);
+        let plain = ShardStore::build_all(&g, &x, &ShardPlan::build(&g, 4, 8));
+        let standby = ShardStore::build_all(&g, &x, &ShardPlan::build_with_standby(&g, 4, 8, true));
+        for (a, b) in plain.iter().zip(&standby) {
+            assert!(
+                b.bytes() > a.bytes(),
+                "shard {}'s mirror must count against the budget",
+                b.shard()
             );
         }
     }

@@ -96,6 +96,10 @@ impl TraceChain {
     ///   any queueing or compute
     /// * `halo_fetch` only appears in a routed chain: cross-shard
     ///   traffic with no routing decision on record is unexplained
+    /// * `shard_failover` appears at most once (a salvaged batch is
+    ///   re-routed to the buddy exactly once), only in a routed chain,
+    ///   and only after a `salvage` — failover *is* the salvage's
+    ///   re-routing, never a spontaneous second routing decision
     pub fn validate(&self) -> Result<(), String> {
         if self.events.is_empty() {
             return Err(format!("trace {}: empty chain", self.id));
@@ -168,6 +172,40 @@ impl TraceChain {
                 self.id,
                 self.canonical()
             ));
+        }
+        let failovers = self
+            .events
+            .iter()
+            .filter(|e| e.kind == "shard_failover")
+            .count();
+        if failovers > 1 {
+            return Err(format!(
+                "trace {}: {failovers} shard_failover events (exactly-once re-route violated): {}",
+                self.id,
+                self.canonical()
+            ));
+        }
+        if failovers == 1 {
+            if routes == 0 {
+                return Err(format!(
+                    "trace {}: shard_failover without a shard_route decision: {}",
+                    self.id,
+                    self.canonical()
+                ));
+            }
+            let failover_at = self
+                .events
+                .iter()
+                .position(|e| e.kind == "shard_failover")
+                .expect("counted above");
+            let salvage_at = self.events.iter().position(|e| e.kind == "salvage");
+            if salvage_at.is_none_or(|s| s >= failover_at) {
+                return Err(format!(
+                    "trace {}: shard_failover without a preceding salvage: {}",
+                    self.id,
+                    self.canonical()
+                ));
+            }
         }
         Ok(())
     }
@@ -367,6 +405,47 @@ mod tests {
                 .validate()
                 .is_err(),
             "halo fetch without routing"
+        );
+    }
+
+    #[test]
+    fn failover_invariants() {
+        chain(&[
+            "submit",
+            "shard_route",
+            "enqueue",
+            "pickup",
+            "salvage",
+            "shard_failover",
+            "pickup",
+            "response",
+        ])
+        .validate()
+        .unwrap();
+        assert!(
+            chain(&["submit", "shard_route", "shard_failover", "response"])
+                .validate()
+                .is_err(),
+            "failover without salvage"
+        );
+        assert!(
+            chain(&["submit", "salvage", "shard_failover", "response"])
+                .validate()
+                .is_err(),
+            "failover without routing"
+        );
+        assert!(
+            chain(&[
+                "submit",
+                "shard_route",
+                "salvage",
+                "shard_failover",
+                "shard_failover",
+                "response"
+            ])
+            .validate()
+            .is_err(),
+            "double failover"
         );
     }
 
